@@ -1,0 +1,38 @@
+"""Shared plumbing for the figure benchmarks.
+
+Each benchmark regenerates one paper figure's data through the experiment
+harness at a reduced scale (set ``REPRO_BENCH_SCALE`` to change it), times
+the run via pytest-benchmark, and prints the figure's table so the output
+mirrors the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Workload scale for benchmark runs (1.0 = full paper-scale traces).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEED = 20050608
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_figure(benchmark, name: str, *, scale: float | None = None):
+    """Benchmark one experiment and emit its rendered panels."""
+    from repro.experiments import run_experiment
+
+    chosen = BENCH_SCALE if scale is None else scale
+
+    def once():
+        return run_experiment(name, scale=chosen, seed=BENCH_SEED)
+
+    panels = benchmark.pedantic(once, rounds=1, iterations=1)
+    for panel in panels:
+        print()
+        print(panel.render())
+    return panels

@@ -1,0 +1,135 @@
+"""Ablation: BSS sensitivity to its design knobs.
+
+Sweeps eps, L, Cs, and the pre-sample count on one trace, printing the
+resulting sampled-mean error and overhead — the empirical counterpart of
+the Fig. 9/10/15 design surfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BiasedSystematicSampler
+from repro.core.variance import instance_means
+from repro.traffic import synthetic_trace
+from repro.utils.tables import format_table
+
+RATE = 3e-4
+SEED = 4321
+TRACE = synthetic_trace(1 << 18, SEED, alpha=1.3, hurst=0.85)
+TRUE_MEAN = TRACE.mean
+
+
+def _evaluate(sampler: BiasedSystematicSampler) -> tuple[float, float]:
+    means = instance_means(sampler, TRACE, 11, SEED)
+    result = sampler.sample(TRACE, SEED)
+    eta = 1.0 - float(np.median(means)) / TRUE_MEAN
+    overhead = result.n_extra / max(result.n_base, 1)
+    return eta, overhead
+
+
+def test_epsilon_sweep(benchmark):
+    """Overhead must fall and |eta| drift as eps rises past 1."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for eps in (0.5, 0.75, 1.0, 1.5, 2.0):
+            sampler = BiasedSystematicSampler.from_rate(
+                RATE, 6, epsilon=eps, offset=None
+            )
+            eta, overhead = _evaluate(sampler)
+            rows.append([eps, round(eta, 4), round(overhead, 4)])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["eps", "eta", "overhead"], rows,
+                       title="BSS epsilon sweep"))
+    overheads = [r[2] for r in rows]
+    assert overheads[0] > overheads[-1], "overhead must fall with eps"
+
+
+def test_l_sweep(benchmark):
+    """More extras push eta down (toward over-correction) at cost."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for L in (0, 2, 6, 12, 24):
+            sampler = BiasedSystematicSampler.from_rate(
+                RATE, L, epsilon=1.0, offset=None
+            )
+            eta, overhead = _evaluate(sampler)
+            rows.append([L, round(eta, 4), round(overhead, 4)])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["L", "eta", "overhead"], rows, title="BSS L sweep"))
+    etas = [r[1] for r in rows]
+    assert etas[0] > etas[-1], "raising L must push the estimate upward"
+
+
+def test_cs_sweep(benchmark):
+    """The design rule's L grows with the assumed trace constant Cs."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for cs in (0.2, 0.4, 0.8):
+            sampler = BiasedSystematicSampler.design(
+                RATE, 1.3, cs=cs, total_points=len(TRACE), offset=None
+            )
+            eta, overhead = _evaluate(sampler)
+            rows.append([cs, sampler.extra_samples, round(eta, 4),
+                         round(overhead, 4)])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["cs", "L", "eta", "overhead"], rows,
+                       title="BSS design-rule Cs sweep"))
+    ls = [r[1] for r in rows]
+    assert ls == sorted(ls), "designed L must grow with Cs"
+
+
+def test_presample_sweep(benchmark):
+    """Pre-samples delay extras; too many eat the low-rate budget."""
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for npre in (0, 5, 20, 60):
+            sampler = BiasedSystematicSampler.from_rate(
+                RATE, 6, epsilon=1.0, n_presamples=npre, offset=None
+            )
+            eta, overhead = _evaluate(sampler)
+            rows.append([npre, round(eta, 4), round(overhead, 4)])
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(["n_presamples", "eta", "overhead"], rows,
+                       title="BSS pre-sample sweep"))
+    overheads = [r[2] for r in rows]
+    assert overheads[0] >= overheads[-1], (
+        "a larger warm-up cannot increase the overhead"
+    )
+
+
+def test_online_vs_offline_throughput(benchmark):
+    """The streaming sampler's per-granule cost (items/sec)."""
+    from repro.core import OnlineBSS
+
+    values = TRACE.values[: 1 << 16]
+
+    def stream():
+        online = OnlineBSS(int(1 / RATE), 6, epsilon=1.0)
+        online.process(values)
+        return online.result()
+
+    result = benchmark.pedantic(stream, rounds=1, iterations=1)
+    offline = BiasedSystematicSampler.from_rate(RATE, 6, epsilon=1.0).sample(values)
+    assert result.n_base == offline.n_base

@@ -1,0 +1,77 @@
+"""Ablation: the four LRD traffic generators.
+
+Compares runtime and Hurst-recovery quality of the generator choices
+DESIGN.md calls out: Davies-Harte fGn (the workhorse), Hosking fGn (the
+O(n^2) cross-check), on/off aggregation (the paper's ns-2 recipe), and
+the Pareto-marginal copula transform (the Sec. V/VI workload).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hurst import aggregated_variance_hurst
+from repro.traffic import (
+    MGInfinityModel,
+    OnOffModel,
+    ParetoLRDModel,
+    fgn_davies_harte,
+    fgn_hosking,
+)
+
+TARGET_H = 0.8
+SEED = 99
+
+
+def _check_lrd(values: np.ndarray, *, clip: bool = False) -> None:
+    if clip:
+        values = np.minimum(values, np.quantile(values, 0.999))
+    estimate = aggregated_variance_hurst(values)
+    assert estimate.hurst > 0.6, "generator lost long-range dependence"
+
+
+def test_davies_harte(benchmark):
+    values = benchmark(fgn_davies_harte, 1 << 16, TARGET_H, SEED)
+    _check_lrd(values)
+
+
+def test_hosking(benchmark):
+    # O(n^2): benchmarked at a smaller n by necessity — the gap versus
+    # Davies-Harte is the point of the ablation.
+    values = benchmark(fgn_hosking, 4096, TARGET_H, SEED)
+    assert values.size == 4096
+
+
+def test_onoff_aggregate(benchmark):
+    model = OnOffModel.for_hurst(TARGET_H, n_sources=64)
+    values = benchmark(model.generate, 1 << 16, SEED)
+    _check_lrd(values)
+
+
+def test_mg_infinity(benchmark):
+    model = MGInfinityModel.for_hurst(TARGET_H)
+    values = benchmark(model.generate, 1 << 16, SEED)
+    _check_lrd(values)
+
+
+def test_pareto_copula(benchmark):
+    model = ParetoLRDModel.from_mean(5.68, 1.5, TARGET_H, upper_ccdf=1e-4)
+    values = benchmark(model.generate, 1 << 16, SEED)
+    _check_lrd(values, clip=True)
+    assert values.min() >= model.marginal.scale - 1e-9
+
+
+def test_generators_agree_on_hurst():
+    """Non-timing sanity: all generators target the same H ballpark."""
+    estimates = []
+    estimates.append(
+        aggregated_variance_hurst(fgn_davies_harte(1 << 16, TARGET_H, 1)).hurst
+    )
+    estimates.append(
+        aggregated_variance_hurst(
+            OnOffModel.for_hurst(TARGET_H, n_sources=64).generate(1 << 16, 2)
+        ).hurst
+    )
+    assert max(estimates) - min(estimates) < 0.25
+    assert all(e == pytest.approx(TARGET_H, abs=0.15) for e in estimates)

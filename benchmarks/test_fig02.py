@@ -1,0 +1,13 @@
+"""Benchmark for paper Fig. 2: beta-hat of the simple-random sampled ACF (Eq. 11)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig02(benchmark):
+    panels = run_figure(benchmark, "fig02")
+    panel_b = panels[1]
+    errors = [abs(b - h) for b, h in
+              zip(panel_b.x_values, panel_b.series["beta_hat"])]
+    assert max(errors) < 0.05

@@ -1,0 +1,13 @@
+"""Benchmark for paper Fig. 3: SNC numerical method recovers beta (Theorem 1)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig03(benchmark):
+    panels = run_figure(benchmark, "fig03")
+    for panel in panels:
+        errors = [abs(b - h) for b, h in
+                  zip(panel.x_values, panel.series["beta_hat"])]
+        assert max(errors) < 0.05

@@ -1,0 +1,11 @@
+"""Benchmark for paper Fig. 4: delta_tau positivity (Theorem 2 precondition)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig04(benchmark):
+    panels = run_figure(benchmark, "fig04")
+    for column in panels[0].series.values():
+        assert min(column) > 0

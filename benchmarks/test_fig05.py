@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 5: average variance of the three techniques."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig05(benchmark):
+    panels = run_figure(benchmark, "fig05")
+    assert {"systematic", "stratified", "simple_random"} <= set(panels[0].series)

@@ -1,0 +1,11 @@
+"""Benchmark for paper Fig. 6: sampled vs real mean under systematic sampling."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig06(benchmark):
+    panels = run_figure(benchmark, "fig06")
+    for panel in panels:
+        assert panel.series["eta"][0] > 0

@@ -1,0 +1,11 @@
+"""Benchmark for paper Fig. 7: heavy-tailed 1-burst periods."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig07(benchmark):
+    panels = run_figure(benchmark, "fig07")
+    for panel in panels:
+        assert "alpha" in " ".join(panel.notes)

@@ -1,0 +1,11 @@
+"""Benchmark for paper Fig. 8: Pareto marginal CCDF fits."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig08(benchmark):
+    panels = run_figure(benchmark, "fig08")
+    for panel in panels:
+        assert panel.series["measured_ccdf"][0] >= panel.series["measured_ccdf"][-1]

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 9: unbiased-L surface L(eta, eps)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig09(benchmark):
+    panels = run_figure(benchmark, "fig09")
+    assert any("eps1" in note for note in panels[0].notes)

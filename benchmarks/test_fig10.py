@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 10: bias surface xi(L, eps)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig10(benchmark):
+    panels = run_figure(benchmark, "fig10")
+    assert any("eps2" in note for note in panels[0].notes)

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 11: xi(eps) slice at L=5."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig11(benchmark):
+    panels = run_figure(benchmark, "fig11")
+    assert max(panels[0].series["xi"]) > 1.0

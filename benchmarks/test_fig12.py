@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 12: unbiased BSS, synthetic trace."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig12(benchmark):
+    panels = run_figure(benchmark, "fig12")
+    assert len(panels) == 2

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 13: unbiased BSS, Bell-Labs-like trace."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig13(benchmark):
+    panels = run_figure(benchmark, "fig13")
+    assert len(panels) == 2

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 14: xi contours over (L, eps)."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig14(benchmark):
+    panels = run_figure(benchmark, "fig14")
+    assert panels[0].x_values[0] == 1

@@ -1,0 +1,11 @@
+"""Benchmark for paper Fig. 15: overhead surface L'/N."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig15(benchmark):
+    panels = run_figure(benchmark, "fig15")
+    row = panels[0].series["L=10"]
+    assert row[0] > row[-1]

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 16: biased BSS with known eta, synthetic trace."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig16(benchmark):
+    panels = run_figure(benchmark, "fig16")
+    assert len(panels) == 2

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 17: biased BSS with known eta, Bell-Labs-like trace."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig17(benchmark):
+    panels = run_figure(benchmark, "fig17")
+    assert len(panels) == 2

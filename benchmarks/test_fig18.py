@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 18: online-tuned BSS headline comparison, synthetic."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig18(benchmark):
+    panels = run_figure(benchmark, "fig18")
+    assert max(panels[0].series["bss_overhead"]) < 1.5

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 19: online-tuned BSS headline comparison, real-like."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig19(benchmark):
+    panels = run_figure(benchmark, "fig19")
+    assert max(panels[0].series["bss_overhead"]) < 1.5

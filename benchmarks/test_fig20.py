@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 20: efficiency of the three methods."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig20(benchmark):
+    panels = run_figure(benchmark, "fig20")
+    assert any("gain" in note for note in panels[0].notes)

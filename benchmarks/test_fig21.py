@@ -1,0 +1,12 @@
+"""Benchmark for paper Fig. 21: Hurst preservation under BSS."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig21(benchmark):
+    panels = run_figure(benchmark, "fig21")
+    errors = [abs(b - h) for b, h in
+              zip(panels[0].x_values, panels[0].series["beta_hat"])]
+    assert max(errors) < 0.25

@@ -1,0 +1,10 @@
+"""Benchmark for paper Fig. 22: average variance: BSS vs systematic."""
+
+from __future__ import annotations
+
+from conftest import run_figure
+
+
+def test_fig22(benchmark):
+    panels = run_figure(benchmark, "fig22")
+    assert {"systematic", "proposed"} <= set(panels[0].series)

@@ -1,0 +1,81 @@
+"""BSS parameter design walkthrough (the paper's Sec. V-C, step by step).
+
+Shows how the three design rules connect:
+
+1. the bias factor xi(L, eps) and its unbiased roots (Figs. 10/11),
+2. the unbiased design of Eq. (23),
+3. the biased design xi = 1/(1-eta) with eta predicted from the sampling
+   rate alone (Eq. 35) — the rule a deployed sampler actually uses,
+
+then validates the chosen design on a synthetic trace.
+
+Run:  python examples/bss_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stable import eta_model
+from repro.core import BiasedSystematicSampler, SystematicSampler
+from repro.core.parameters import (
+    epsilon_roots,
+    l_for_target_mean,
+    l_for_unbiased,
+    overhead_ratio,
+    xi_bias,
+)
+from repro.traffic import synthetic_trace
+
+ALPHA = 1.5
+RATE = 1e-3
+SEED = 3
+
+
+def main() -> None:
+    print(f"marginal tail index alpha = {ALPHA}; base sampling rate {RATE:g}\n")
+
+    print("-- 1. the bias surface --")
+    for L in (5, 10):
+        for eps in (0.5, 1.0, 2.0):
+            print(f"  xi(L={L:2d}, eps={eps:.1f}) = "
+                  f"{xi_bias(L, eps, ALPHA):.3f}   "
+                  f"overhead L'/N = {overhead_ratio(L, eps, ALPHA):.3f}")
+    eps1, eps2 = epsilon_roots(10, ALPHA, eta=0.148)
+    print(f"  unbiased roots at L=10 (eta=0.148): eps1={eps1:.3f} "
+          f"(infeasible), eps2={eps2:.3f}  <- the paper's Fig. 12 setting\n")
+
+    print("-- 2. unbiased design (Eq. 23) --")
+    for eta in (0.1, 0.2, 0.3):
+        L = l_for_unbiased(eta, 1.0, ALPHA)
+        print(f"  eta={eta:.1f}, eps=1.0  ->  L = {L:.2f}")
+    print()
+
+    print("-- 3. biased online design (Eq. 35 + Eq. 30) --")
+    trace = synthetic_trace(1 << 18, rng=SEED, alpha=ALPHA)
+    eta_hat = float(
+        eta_model([RATE], ALPHA, cs=0.5, total_points=len(trace))[0]
+    )
+    L = l_for_target_mean(min(eta_hat, 0.5), 1.0, ALPHA)
+    print(f"  predicted eta({RATE:g}) = {eta_hat:.3f}  ->  target "
+          f"xi = {1 / (1 - eta_hat):.3f}  ->  L = {L:.2f}")
+
+    bss = BiasedSystematicSampler.design(
+        RATE, ALPHA, cs=0.5, total_points=len(trace)
+    )
+    print(f"  design() chose: interval={bss.interval}, "
+          f"L={bss.extra_samples}, eps={bss.epsilon}\n")
+
+    print("-- validation on a synthetic trace --")
+    true_mean = trace.mean
+    sys_result = SystematicSampler.from_rate(RATE).sample(trace, SEED)
+    bss_result = bss.sample(trace, SEED)
+    print(f"  true mean          = {true_mean:.3f}")
+    print(f"  systematic mean    = {sys_result.sampled_mean:.3f} "
+          f"(eta {sys_result.eta(true_mean):+.3f})")
+    print(f"  BSS mean           = {bss_result.sampled_mean:.3f} "
+          f"(eta {bss_result.eta(true_mean):+.3f})")
+    print(f"  BSS overhead       = "
+          f"{bss_result.n_extra / bss_result.n_base:.3f}")
+
+
+if __name__ == "__main__":
+    main()

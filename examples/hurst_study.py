@@ -1,0 +1,74 @@
+"""Hurst estimator study: seven estimators on three LRD generators.
+
+Cross-validates the estimator substrate the way the paper's Sec. VI-B
+relies on it: exact fGn (ground truth H), on/off aggregation (Taqqu's
+H = (3-alpha)/2), and the Pareto-marginal copula traffic.
+
+Run:  python examples/hurst_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hurst import available_methods, estimate_hurst
+from repro.traffic import (
+    MGInfinityModel,
+    OnOffModel,
+    ParetoLRDModel,
+    fgn_davies_harte,
+)
+
+SEED = 23
+N = 1 << 16
+TARGET_H = 0.8
+
+
+def series_under_test() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(SEED)
+    copula = ParetoLRDModel.from_mean(5.68, 1.5, TARGET_H)
+    values = {
+        "fGn (exact)": fgn_davies_harte(N, TARGET_H, rng),
+        "on/off aggregate": OnOffModel.for_hurst(
+            TARGET_H, n_sources=64
+        ).generate(N, rng),
+        "M/G/inf": MGInfinityModel.for_hurst(TARGET_H).generate(N, rng),
+        "Pareto-marginal": copula.generate(N, rng),
+    }
+    # Clip the heavy tail for estimation stability (standard practice for
+    # variance-based estimators on infinite-variance marginals).
+    values["Pareto-marginal (clipped)"] = np.minimum(
+        values["Pareto-marginal"], np.quantile(values["Pareto-marginal"], 0.999)
+    )
+    return values
+
+
+def main() -> None:
+    methods = available_methods()
+    data = series_under_test()
+    header = f"{'generator':>26} | " + "  ".join(f"{m[:9]:>9}" for m in methods)
+    print(f"target H = {TARGET_H}\n")
+    print(header)
+    print("-" * len(header))
+    for name, series in data.items():
+        cells = []
+        for method in methods:
+            try:
+                # Step-like rate processes (on/off, M/G/inf) have
+                # non-scaling fine octaves; start the wavelet regression
+                # at octave 4 so only the LRD regime is fitted.
+                kwargs = {"j1": 4} if method == "wavelet" else {}
+                estimate = estimate_hurst(series, method, **kwargs)
+                cells.append(f"{estimate.hurst:>9.3f}")
+            except Exception:
+                cells.append(f"{'fail':>9}")
+        print(f"{name:>26} | " + "  ".join(cells))
+    print(
+        "\nThe wavelet column is the estimator the paper uses (Abry-Veitch); "
+        "all\nestimators should agree near the target for the Gaussian "
+        "generators, with\nmore spread on the heavy-tailed marginal."
+    )
+
+
+if __name__ == "__main__":
+    main()

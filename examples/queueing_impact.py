@@ -1,0 +1,68 @@
+"""Why the Hurst parameter matters: queueing impact of mis-measured H.
+
+The paper defends Hurst preservation because H "is crucial for queuing
+analysis".  This example quantifies that: it simulates queues fed by
+traffic with different Hurst parameters at equal load, compares the
+Norros analytical tail with simulation, and shows the provisioning error
+made by trusting an under-estimated H.
+
+Run:  python examples/queueing_impact.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queueing import (
+    overflow_probability,
+    queue_occupancy,
+    required_capacity,
+    simulate_queue,
+    tail_probabilities,
+)
+from repro.traffic import fgn_davies_harte
+
+SEED = 5
+N = 1 << 17
+MEAN, CAPACITY = 5.0, 6.0
+
+
+def main() -> None:
+    print(f"load: mean {MEAN}, capacity {CAPACITY} "
+          f"(utilisation {MEAN / CAPACITY:.0%})\n")
+
+    print("-- queue fullness vs Hurst parameter (simulation) --")
+    for hurst in (0.5, 0.7, 0.9):
+        arrivals = np.maximum(
+            MEAN + fgn_davies_harte(N, hurst, SEED), 0.0
+        )
+        stats = simulate_queue(arrivals, CAPACITY)
+        print(f"  H={hurst}: mean queue {stats.mean_queue:7.2f}, "
+              f"p99 {stats.p99_queue:8.2f}, max {stats.max_queue:9.2f}")
+
+    print("\n-- Norros analytical tail vs simulation (H=0.8) --")
+    hurst = 0.8
+    arrivals = np.maximum(MEAN + fgn_davies_harte(N, hurst, SEED), 0.0)
+    occupancy = queue_occupancy(arrivals, CAPACITY)
+    buffers = np.array([1.0, 2.0, 5.0, 10.0])
+    empirical = tail_probabilities(occupancy, buffers)
+    analytical = overflow_probability(buffers, CAPACITY, MEAN, hurst)
+    print(f"  {'buffer':>8}  {'P(Q>b) sim':>12}  {'Norros':>12}")
+    for b, e, a in zip(buffers, empirical, analytical):
+        print(f"  {b:>8.1f}  {e:>12.4g}  {a:>12.4g}")
+
+    print("\n-- provisioning error from an under-estimated H --")
+    target = 1e-4
+    buffer = 20.0
+    for assumed in (0.6, 0.7, 0.8, 0.9):
+        capacity = required_capacity(target, buffer, MEAN, assumed)
+        print(f"  assumed H={assumed}: provision capacity {capacity:.2f}")
+    print(
+        "\nIf sampling reports H=0.6 while the true H is 0.9, the link is "
+        "under-provisioned\n— this is why the paper insists samplers must "
+        "preserve second-order statistics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: sample self-similar traffic with all four techniques.
+
+Generates the paper's synthetic trace (Pareto-marginal, LRD), samples it
+at a low rate with systematic, stratified, simple random, and biased
+systematic sampling (BSS), and compares the estimates of the mean and the
+Hurst parameter.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+RATE = 3e-3
+SEED = 7
+
+
+def clipped_hurst(values) -> float:
+    """Wavelet H estimate with the standard 99.9%-quantile tail clip.
+
+    Variance-based estimators are destabilised by infinite-variance
+    marginals; clipping the extreme tail recovers the correlation
+    structure's exponent (the quantity H describes).
+    """
+    clipped = np.minimum(values, np.quantile(values, 0.999))
+    return repro.estimate_hurst(clipped, "wavelet").hurst
+
+
+def main() -> None:
+    trace = repro.synthetic_trace(1 << 19, rng=SEED, alpha=1.3, hurst=0.85)
+    true_mean = trace.mean
+    true_hurst = clipped_hurst(trace.values)
+    print(f"trace: {len(trace)} points, mean={true_mean:.3f}, "
+          f"wavelet H={true_hurst:.3f}")
+    print(f"sampling rate: {RATE:g}  (1 in {int(1 / RATE)})\n")
+
+    samplers = {
+        "systematic": repro.SystematicSampler.from_rate(RATE),
+        "stratified": repro.StratifiedSampler.from_rate(RATE),
+        "simple random": repro.SimpleRandomSampler.from_rate(RATE),
+        "BSS (designed)": repro.BiasedSystematicSampler.design(
+            RATE, alpha=1.3, cs=0.5, total_points=len(trace)
+        ),
+    }
+
+    print(f"{'method':>16}  {'samples':>8}  {'mean':>8}  {'eta':>8}  {'H':>6}")
+    for name, sampler in samplers.items():
+        result = sampler.sample(trace, rng=SEED)
+        eta = result.eta(true_mean)
+        try:
+            hurst_text = f"{clipped_hurst(result.values):.3f}"
+        except repro.ReproError:
+            hurst_text = "n/a"
+        print(
+            f"{name:>16}  {result.n_samples:>8}  "
+            f"{result.sampled_mean:>8.3f}  {eta:>8.3f}  {hurst_text:>6}"
+        )
+
+    print(
+        "\nNotes: the sampled sequences keep the original's correlation "
+        "exponent (the\npaper's T1), but at interval C the correlations are "
+        "scaled down by C^-beta, so\na ~1.5k-sample sequence shows only a "
+        "faint LRD signal — run\n`python -m repro.experiments run fig21` "
+        "for the proper Hurst-preservation sweep\n(denser sampling, longer "
+        "sequences).  The mean estimates scatter with the\nheavy tail (T3); "
+        "lower the rate toward 1e-4 (`... run fig18`) to watch\nsystematic "
+        "sampling under-estimate the mean and BSS correct it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that environments without the ``wheel`` package (no PEP 660 editable
+support in older setuptools) can still run ``pip install -e .`` through the
+legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

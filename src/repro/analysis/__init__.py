@@ -1,0 +1,76 @@
+"""Analysis substrate: ACFs, fitting, heavy tails, bursts, closed forms."""
+
+from repro.analysis.acf import (
+    acf_tail_slope,
+    autocorrelation,
+    autocovariance,
+    power_law_acf,
+)
+from repro.analysis.bursts import (
+    BurstAnalysis,
+    analyze_bursts,
+    burst_lengths,
+    empirical_hazard,
+    run_lengths,
+    threshold_process,
+)
+from repro.analysis.fitting import LinearFit, fit_line, fit_loglog, fit_power_law
+from repro.analysis.heavytail import (
+    ParetoTailFit,
+    empirical_ccdf,
+    fit_pareto_ccdf,
+    hill_estimator,
+    hill_plot,
+    ks_distance,
+    pareto_mle,
+)
+from repro.analysis.stable import (
+    estimate_cs,
+    eta_model,
+    mean_deviation_exponent,
+    required_samples,
+)
+from repro.analysis.theory import (
+    delta_tau,
+    persistence_probability_exponential,
+    persistence_probability_pareto,
+    power_law_autocorrelation,
+    simple_random_sampled_acf,
+    stratified_sampled_acf,
+    systematic_sampled_acf,
+)
+
+__all__ = [
+    "autocorrelation",
+    "autocovariance",
+    "acf_tail_slope",
+    "power_law_acf",
+    "LinearFit",
+    "fit_line",
+    "fit_loglog",
+    "fit_power_law",
+    "ParetoTailFit",
+    "empirical_ccdf",
+    "fit_pareto_ccdf",
+    "pareto_mle",
+    "hill_estimator",
+    "hill_plot",
+    "ks_distance",
+    "BurstAnalysis",
+    "analyze_bursts",
+    "burst_lengths",
+    "empirical_hazard",
+    "run_lengths",
+    "threshold_process",
+    "power_law_autocorrelation",
+    "delta_tau",
+    "systematic_sampled_acf",
+    "stratified_sampled_acf",
+    "simple_random_sampled_acf",
+    "persistence_probability_pareto",
+    "persistence_probability_exponential",
+    "eta_model",
+    "estimate_cs",
+    "mean_deviation_exponent",
+    "required_samples",
+]

@@ -1,0 +1,91 @@
+"""Autocorrelation estimation.
+
+The paper's second-order analysis revolves around the autocorrelation
+function R(tau) of the traffic process and of its sampled versions.  This
+module provides an O(n log n) FFT-based empirical estimator plus the model
+ACF used in the derivations, ``R(tau) ~ const * tau^-beta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.arrays import as_float_array
+from repro.utils.validation import require_int_at_least
+
+
+def autocovariance(values, max_lag: int | None = None) -> np.ndarray:
+    """Biased empirical autocovariance for lags 0..max_lag (FFT-based).
+
+    The biased (1/n) normalisation is used, which guarantees a positive
+    semi-definite sequence — important when the output feeds spectral or
+    convolution machinery.
+    """
+    x = as_float_array(values, name="values", min_length=2)
+    n = x.size
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = require_int_at_least("max_lag", max_lag, 0)
+    if max_lag >= n:
+        raise ParameterError(f"max_lag {max_lag} must be < series length {n}")
+
+    centered = x - x.mean()
+    size = 1 << int(np.ceil(np.log2(2 * n - 1)))
+    spectrum = np.fft.rfft(centered, size)
+    acov = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
+    return acov / n
+
+
+def autocorrelation(values, max_lag: int | None = None) -> np.ndarray:
+    """Empirical autocorrelation R(tau)/R(0) for lags 0..max_lag."""
+    acov = autocovariance(values, max_lag)
+    if acov[0] <= 0:
+        raise ParameterError("series has zero variance; autocorrelation undefined")
+    return acov / acov[0]
+
+
+def power_law_acf(taus, beta: float, *, const: float = 1.0) -> np.ndarray:
+    """The model ACF of the paper's Eq. (2): R(tau) = const * tau^-beta.
+
+    ``tau = 0`` maps to ``const`` (the model is asymptotic; the value at 0
+    is a normalisation choice, not a claim).
+    """
+    if not 0.0 < beta < 1.0:
+        raise ParameterError(f"beta must lie in (0, 1), got {beta}")
+    taus = np.asarray(taus, dtype=np.float64)
+    if np.any(taus < 0):
+        raise ParameterError("lags must be non-negative")
+    out = np.empty_like(taus)
+    zero = taus == 0
+    out[zero] = const
+    out[~zero] = const * taus[~zero] ** -beta
+    return out
+
+
+def acf_tail_slope(
+    values,
+    *,
+    min_lag: int = 8,
+    max_lag: int | None = None,
+) -> tuple[float, float]:
+    """Fit log R(tau) = -beta * log tau + c over the ACF tail.
+
+    Returns ``(beta_hat, intercept)``.  Lags where the empirical ACF is
+    non-positive are excluded (they carry no log-scale information).
+    """
+    x = as_float_array(values, min_length=16)
+    if max_lag is None:
+        max_lag = min(x.size // 4, 4096)
+    acf = autocorrelation(x, max_lag)
+    lags = np.arange(min_lag, max_lag + 1)
+    usable = acf[min_lag:] > 0
+    if usable.sum() < 4:
+        raise ParameterError(
+            "fewer than 4 positive ACF values in the fit window; "
+            "series too short or not LRD"
+        )
+    log_tau = np.log(lags[usable])
+    log_r = np.log(acf[min_lag:][usable])
+    slope, intercept = np.polyfit(log_tau, log_r, 1)
+    return -float(slope), float(intercept)

@@ -1,0 +1,94 @@
+"""Least-squares fitting helpers (log-log and weighted linear).
+
+Every estimator in the paper ends in a straight-line fit on some
+transformed scale: the Fig. 2/3 beta-hat fits, the variance-time plots, the
+wavelet logscale diagram, and the CCDF tail fits.  This module centralises
+that machinery with explicit diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a (possibly weighted) straight-line fit y = slope*x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    slope_stderr: float
+    n_points: int
+
+    def predict(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def fit_line(x, y, weights=None) -> LinearFit:
+    """Weighted least-squares line fit with R^2 and slope standard error.
+
+    Weights are inverse-variance weights (larger = more trusted), as used
+    by the Abry-Veitch logscale regression.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise EstimationError("x and y must be 1-D arrays of equal length")
+    if x.size < 2:
+        raise EstimationError(f"need at least 2 points to fit a line, got {x.size}")
+    if weights is None:
+        w = np.ones_like(x)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != x.shape or np.any(w < 0) or w.sum() == 0:
+            raise EstimationError("weights must be non-negative, same shape, not all 0")
+
+    w_sum = w.sum()
+    x_bar = np.dot(w, x) / w_sum
+    y_bar = np.dot(w, y) / w_sum
+    sxx = np.dot(w, (x - x_bar) ** 2)
+    if sxx <= 0:
+        raise EstimationError("x values are all identical; slope undefined")
+    sxy = np.dot(w, (x - x_bar) * (y - y_bar))
+    slope = sxy / sxx
+    intercept = y_bar - slope * x_bar
+
+    residuals = y - (slope * x + intercept)
+    ss_res = np.dot(w, residuals**2)
+    ss_tot = np.dot(w, (y - y_bar) ** 2)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+
+    dof = max(x.size - 2, 1)
+    slope_var = (ss_res / dof) / sxx
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        slope_stderr=float(np.sqrt(max(slope_var, 0.0))),
+        n_points=int(x.size),
+    )
+
+
+def fit_loglog(x, y, weights=None, *, base: float = np.e) -> LinearFit:
+    """Fit ``log(y) = slope * log(x) + intercept`` in the chosen log base.
+
+    Non-positive x or y pairs are rejected outright: silently dropping them
+    would hide a broken estimator upstream.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise EstimationError("log-log fit requires strictly positive x and y")
+    scale = np.log(base)
+    return fit_line(np.log(x) / scale, np.log(y) / scale, weights)
+
+
+def fit_power_law(x, y, weights=None) -> tuple[float, float, LinearFit]:
+    """Fit ``y = const * x**exponent``; returns (exponent, const, fit)."""
+    fit = fit_loglog(x, y, weights)
+    return fit.slope, float(np.exp(fit.intercept)), fit

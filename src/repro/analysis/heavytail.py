@@ -1,0 +1,164 @@
+"""Heavy-tail diagnostics: empirical CCDFs and Pareto tail fitting.
+
+Three estimators of the tail index ``alpha`` are provided, matching how the
+paper uses them:
+
+* :func:`fit_pareto_ccdf` — straight-line regression on the log-log CCDF,
+  the method behind Figs. 7 and 8 ("a line in a log-log plot indicates
+  heavy-tailed behavior");
+* :func:`pareto_mle` — the maximum-likelihood estimator given a known
+  lower cut-off;
+* :func:`hill_estimator` — the classical order-statistics estimator, which
+  needs no cut-off choice beyond the number of upper order statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fitting import LinearFit, fit_loglog
+from repro.errors import EstimationError, ParameterError
+from repro.traffic.distributions import Pareto
+from repro.utils.arrays import as_float_array
+from repro.utils.validation import require_int_at_least, require_probability
+
+
+def empirical_ccdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical complementary CDF.
+
+    Returns ``(x, p)`` with x the sorted unique sample values and
+    ``p[i] = Pr(X > x[i])`` estimated as the fraction of strictly larger
+    observations.  The largest value has p = 0 and is dropped, keeping the
+    output usable on log axes.
+    """
+    x = np.sort(as_float_array(values, name="values", min_length=2))
+    n = x.size
+    # For sorted data, #(X > x[i]) = n - (index of last occurrence of x[i]) - 1.
+    last_index = np.searchsorted(x, x, side="right") - 1
+    p = (n - 1 - last_index) / n
+    keep = p > 0
+    return x[keep], p[keep]
+
+
+@dataclass(frozen=True)
+class ParetoTailFit:
+    """A fitted Pareto tail.
+
+    Attributes
+    ----------
+    alpha:
+        Estimated tail index.
+    scale:
+        Estimated scale (lower cut-off implied by the fit).
+    fit:
+        The underlying straight-line fit on the log-log CCDF, where the
+        slope equals ``-alpha``; ``fit.r_squared`` measures how straight
+        the tail is (the paper's visual "line in a log-log plot" check).
+    tail_fraction:
+        Fraction of the sample used for the fit.
+    """
+
+    alpha: float
+    scale: float
+    fit: LinearFit
+    tail_fraction: float
+
+    @property
+    def distribution(self) -> Pareto:
+        return Pareto(scale=self.scale, alpha=self.alpha)
+
+
+def fit_pareto_ccdf(values, *, tail_fraction: float = 0.5) -> ParetoTailFit:
+    """Fit ``Pr(X > x) = (k/x)^alpha`` by log-log CCDF regression.
+
+    Parameters
+    ----------
+    tail_fraction:
+        Upper fraction of the sample used for the regression (the Pareto
+        model only claims to describe the tail).
+    """
+    require_probability("tail_fraction", tail_fraction)
+    x, p = empirical_ccdf(values)
+    if x.size < 4:
+        raise EstimationError("need at least 4 distinct values for a CCDF fit")
+    start = int(np.floor((1.0 - tail_fraction) * x.size))
+    start = min(start, x.size - 4)
+    xs, ps = x[start:], p[start:]
+    if np.any(xs <= 0):
+        raise EstimationError("CCDF tail fit requires positive values")
+    fit = fit_loglog(xs, ps)
+    alpha = -fit.slope
+    if alpha <= 0:
+        raise EstimationError(
+            f"fitted tail exponent is non-positive ({alpha:.3f}); "
+            "the data is not tail-decreasing"
+        )
+    # log p = -alpha log x + b  =>  p = (e^{b/alpha} / x)^alpha.
+    scale = float(np.exp(fit.intercept / alpha))
+    return ParetoTailFit(
+        alpha=float(alpha), scale=scale, fit=fit, tail_fraction=tail_fraction
+    )
+
+
+def pareto_mle(values, *, scale: float | None = None) -> tuple[float, float]:
+    """Maximum-likelihood Pareto fit; returns ``(alpha, scale)``.
+
+    If ``scale`` is omitted the sample minimum is used (the MLE of the
+    scale parameter).
+    """
+    x = as_float_array(values, name="values", min_length=2)
+    if scale is None:
+        scale = float(x.min())
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale}")
+    tail = x[x >= scale]
+    if tail.size < 2:
+        raise EstimationError("fewer than 2 observations at or above the scale")
+    logs = np.log(tail / scale)
+    total = logs.sum()
+    if total <= 0:
+        raise EstimationError("all observations equal the scale; alpha undefined")
+    alpha = tail.size / total
+    return float(alpha), float(scale)
+
+
+def hill_estimator(values, k: int) -> float:
+    """Hill estimator of the tail index from the top ``k`` order statistics.
+
+    ``alpha_hat = k / sum_{i=1..k} log(x_(n-i+1) / x_(n-k))``.
+    """
+    x = np.sort(as_float_array(values, name="values", min_length=3))
+    require_int_at_least("k", k, 2)
+    if k >= x.size:
+        raise EstimationError(
+            f"k={k} must be smaller than the sample size {x.size}"
+        )
+    threshold = x[-(k + 1)]
+    if threshold <= 0:
+        raise EstimationError("Hill estimator requires a positive tail threshold")
+    logs = np.log(x[-k:] / threshold)
+    total = logs.sum()
+    if total <= 0:
+        raise EstimationError("degenerate upper tail; alpha undefined")
+    return float(k / total)
+
+
+def hill_plot(values, ks) -> np.ndarray:
+    """Hill estimates for each k in ``ks`` (for stability diagnostics)."""
+    return np.array([hill_estimator(values, int(k)) for k in ks])
+
+
+def ks_distance(values, distribution) -> float:
+    """Kolmogorov-Smirnov distance between data and a fitted distribution.
+
+    ``distribution`` needs only a ``ccdf`` method (e.g. :class:`Pareto`).
+    """
+    x = np.sort(as_float_array(values, name="values", min_length=1))
+    n = x.size
+    model_cdf = 1.0 - np.asarray(distribution.ccdf(x), dtype=np.float64)
+    upper = np.arange(1, n + 1) / n
+    lower = np.arange(0, n) / n
+    return float(np.max(np.maximum(np.abs(upper - model_cdf),
+                                   np.abs(model_cdf - lower))))

@@ -1,0 +1,97 @@
+"""Core sampling library: the paper's techniques, BSS, and its theory."""
+
+from repro.core.adaptive import AdaptiveRandomSampler
+from repro.core.base import Sampler, SamplingResult, interval_for_rate, series_values
+from repro.core.bss import BiasedSystematicSampler, OnlineBSS
+from repro.core.metrics import (
+    absolute_eta,
+    efficiency,
+    efficiency_of,
+    eta,
+    overhead,
+    summarize,
+)
+from repro.core.parameters import (
+    epsilon_roots,
+    l_for_target_mean,
+    l_for_unbiased,
+    l_for_xi,
+    l_surface,
+    max_unbiased_eta,
+    overhead_ratio,
+    overhead_surface,
+    threshold_ratio,
+    xi_bias,
+    xi_surface,
+)
+from repro.core.renewal import IntervalDistribution
+from repro.core.simple_random import BernoulliSampler, SimpleRandomSampler
+from repro.core.snc import SNCResult, sampled_acf_via_renewal, snc_check, snc_sweep
+from repro.core.stratified import StratifiedSampler
+from repro.core.streaming import (
+    BernoulliPacketSampler,
+    CountStratifiedSampler,
+    CountSystematicSampler,
+    PacketSampler,
+    SizeBiasedSampler,
+    TimeSystematicSampler,
+    apply_sampler,
+)
+from repro.core.systematic import SystematicSampler
+from repro.core.variance import (
+    VarianceComparison,
+    average_variance,
+    bss_variance_pair,
+    compare_variances,
+    instance_means,
+    theorem2_condition_holds,
+)
+
+__all__ = [
+    "Sampler",
+    "SamplingResult",
+    "series_values",
+    "interval_for_rate",
+    "SystematicSampler",
+    "StratifiedSampler",
+    "SimpleRandomSampler",
+    "BernoulliSampler",
+    "AdaptiveRandomSampler",
+    "BiasedSystematicSampler",
+    "OnlineBSS",
+    "threshold_ratio",
+    "xi_bias",
+    "overhead_ratio",
+    "l_for_unbiased",
+    "l_for_xi",
+    "l_for_target_mean",
+    "epsilon_roots",
+    "max_unbiased_eta",
+    "xi_surface",
+    "l_surface",
+    "overhead_surface",
+    "IntervalDistribution",
+    "SNCResult",
+    "snc_check",
+    "snc_sweep",
+    "sampled_acf_via_renewal",
+    "eta",
+    "absolute_eta",
+    "overhead",
+    "efficiency",
+    "efficiency_of",
+    "summarize",
+    "instance_means",
+    "average_variance",
+    "compare_variances",
+    "bss_variance_pair",
+    "VarianceComparison",
+    "theorem2_condition_holds",
+    "PacketSampler",
+    "CountSystematicSampler",
+    "TimeSystematicSampler",
+    "CountStratifiedSampler",
+    "BernoulliPacketSampler",
+    "SizeBiasedSampler",
+    "apply_sampler",
+]

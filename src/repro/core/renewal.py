@@ -1,0 +1,139 @@
+"""Sampling techniques as renewal point processes (paper Sec. III-D).
+
+A sampling method is characterised by the distribution H(x) of the gaps
+``T_i = Z_{i+1} - Z_i`` between consecutive sampling points:
+
+* systematic  -> deterministic gap C (a unit mass at C);
+* stratified  -> the discrete triangular law of ``C + U2 - U1`` (Eq. 12);
+* simple random -> geometric gaps (Eq. 13).
+
+Theorem 1 needs ``k(u, tau)``, the tau-fold convolution of H — i.e. the
+law of the original-time lag spanned by tau sampled steps.  The paper's
+numerical method (S1-S3) computes it by FFT: transform H, raise to the
+tau-th power, transform back.  :meth:`IntervalDistribution.convolution_power`
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import (
+    require_int_at_least,
+    require_probability,
+)
+
+
+@dataclass(frozen=True)
+class IntervalDistribution:
+    """Discrete distribution of inter-sample gaps.
+
+    ``pmf[x]`` is ``Pr(T = x)`` for gaps ``x = 0 .. len(pmf)-1``; gap 0 is
+    always impossible (``pmf[0] == 0``).
+    """
+
+    pmf: np.ndarray
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        pmf = np.asarray(self.pmf, dtype=np.float64)
+        if pmf.ndim != 1 or pmf.size < 2:
+            raise ParameterError("pmf must be 1-D with support beyond gap 0")
+        if np.any(pmf < 0):
+            raise ParameterError("pmf entries must be non-negative")
+        if pmf[0] != 0:
+            raise ParameterError("gap 0 must have zero probability")
+        total = pmf.sum()
+        if not 0.999 <= total <= 1.001:
+            raise ParameterError(f"pmf must sum to 1 (got {total:.6f})")
+        object.__setattr__(self, "pmf", pmf / total)
+
+    # ------------------------------------------------------------ moments
+    @property
+    def support(self) -> np.ndarray:
+        return np.arange(self.pmf.size)
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self.support, self.pmf))
+
+    @property
+    def variance(self) -> float:
+        mu = self.mean
+        return float(np.dot((self.support - mu) ** 2, self.pmf))
+
+    @property
+    def implied_rate(self) -> float:
+        """Long-run sampling rate 1 / E[T]."""
+        return 1.0 / self.mean
+
+    # ------------------------------------------------------- constructors
+    @classmethod
+    def deterministic(cls, interval: int) -> "IntervalDistribution":
+        """Systematic sampling: all gaps equal C."""
+        interval = require_int_at_least("interval", interval, 1)
+        pmf = np.zeros(interval + 1)
+        pmf[interval] = 1.0
+        return cls(pmf=pmf, name="systematic")
+
+    @classmethod
+    def stratified(cls, interval: int) -> "IntervalDistribution":
+        """Stratified sampling: gap = C + U2 - U1, U uniform on {0..C-1}.
+
+        The discrete analogue of the paper's triangular density (Eq. 12):
+        support {1, ..., 2C-1}, peaked at C.
+        """
+        interval = require_int_at_least("interval", interval, 1)
+        c = interval
+        pmf = np.zeros(2 * c)
+        for d in range(-(c - 1), c):
+            # Pr(U2 - U1 = d) = (C - |d|) / C^2.
+            pmf[c + d] = (c - abs(d)) / (c * c)
+        return cls(pmf=pmf, name="stratified")
+
+    @classmethod
+    def geometric(
+        cls, rate: float, *, tail_mass: float = 1e-10
+    ) -> "IntervalDistribution":
+        """Simple random sampling: Pr(T = i) = (1-r)^(i-1) r (Eq. 13).
+
+        The support is truncated where the remaining tail mass drops below
+        ``tail_mass`` and renormalised.
+        """
+        require_probability("rate", rate)
+        if rate == 1.0:
+            return cls.deterministic(1)
+        max_gap = int(np.ceil(np.log(tail_mass) / np.log1p(-rate))) + 1
+        gaps = np.arange(1, max_gap + 1, dtype=np.float64)
+        pmf = np.zeros(max_gap + 1)
+        pmf[1:] = rate * (1.0 - rate) ** (gaps - 1.0)
+        return cls(pmf=pmf, name="simple_random")
+
+    # ------------------------------------------------------- convolution
+    def convolution_power(self, tau: int, *, size: int | None = None) -> np.ndarray:
+        """k(u, tau): the distribution of the sum of tau iid gaps.
+
+        Steps S1-S3 of the paper: FFT the pmf, raise to the tau-th power,
+        inverse FFT.  ``size`` (FFT length) defaults to the smallest power
+        of two covering the full support ``tau * (len(pmf)-1) + 1``.
+        Tiny negative round-off values are clipped to zero.
+        """
+        tau = require_int_at_least("tau", tau, 1)
+        full_support = tau * (self.pmf.size - 1) + 1
+        if size is None:
+            size = 1 << int(np.ceil(np.log2(full_support)))
+        elif size < full_support:
+            raise ParameterError(
+                f"FFT size {size} below required support {full_support}; "
+                "the circular convolution would alias"
+            )
+        spectrum = np.fft.rfft(self.pmf, size)
+        k = np.fft.irfft(spectrum**tau, size)[:full_support]
+        return np.clip(k, 0.0, None)
+
+    def sample_gaps(self, count: int, rng) -> np.ndarray:
+        """Draw iid gaps (for simulation-based cross-checks)."""
+        return rng.choice(self.pmf.size, size=count, p=self.pmf)

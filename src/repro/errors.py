@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class at the boundary of
+their own code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is outside its documented domain.
+
+    Raised eagerly at construction/call time so that mis-parameterised
+    samplers or generators fail before any expensive work starts.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A statistical estimation procedure could not produce a result.
+
+    Examples: too few points for a log-log regression, a Whittle
+    optimisation that failed to bracket a minimum, or a Hill estimator
+    asked for more order statistics than the sample contains.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file or record stream violates the documented format."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """A traffic generator could not produce a valid sample path.
+
+    The canonical case is circulant-embedding fGn synthesis encountering a
+    non-positive-definite circulant for extreme parameters.
+    """
+
+
+class DesignError(ReproError, ValueError):
+    """A BSS parameter-design request has no feasible solution.
+
+    For example, asking for the unbiased threshold ``eps2`` when the target
+    bias ``xi`` exceeds the maximum of the bias surface for the given ``L``.
+    """

@@ -1,0 +1,14 @@
+"""Experiment harness: one module per paper figure, plus a CLI.
+
+Run ``python -m repro.experiments list`` to see the experiments and
+``python -m repro.experiments run fig18`` to regenerate one figure's data
+as a text table.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]

@@ -1,0 +1,52 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig18 [--scale 0.5] [--seed 1]
+    python -m repro.experiments run all   [--scale 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import available_experiments, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("name", help="experiment name, e.g. fig18, or 'all'")
+    runner.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale in (0, 1] (default 1.0)")
+    runner.add_argument("--seed", type=int, default=None,
+                        help="override the master seed")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    names = available_experiments() if args.name == "all" else [args.name]
+    for name in names:
+        start = time.perf_counter()
+        panels = run_experiment(name, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        for panel in panels:
+            print(panel.render())
+            print()
+        print(f"[{name}] completed in {elapsed:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

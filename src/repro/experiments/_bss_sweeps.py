@@ -1,0 +1,84 @@
+"""Shared sweep used by the BSS evaluation figures (12/13/16/17/18/19).
+
+Each of those figures plots the same four curves — systematic, the
+proposed BSS variant, simple random, and the real mean — against the
+sampling rate; only how the BSS variant is parameterised differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.bss import BiasedSystematicSampler
+from repro.core.simple_random import SimpleRandomSampler
+from repro.core.systematic import SystematicSampler
+from repro.experiments.runner import ExperimentResult, median_instance_means
+
+
+def bss_comparison_panel(
+    trace,
+    rates,
+    bss_for_rate: Callable[[float], BiasedSystematicSampler],
+    *,
+    panel_id: str,
+    title: str,
+    n_instances: int,
+    seed: int,
+    extra_notes: list[str] | None = None,
+) -> ExperimentResult:
+    """Median sampled mean per rate for systematic / BSS / simple random."""
+    true_mean = trace.mean
+    systematic, proposed, simple, overheads = [], [], [], []
+    for rate in np.asarray(rates, dtype=np.float64):
+        rate = float(rate)
+        systematic.append(
+            round(
+                median_instance_means(
+                    SystematicSampler.from_rate(rate, offset=None),
+                    trace, n_instances, f"{panel_id}:sys:{rate}", seed,
+                ),
+                4,
+            )
+        )
+        bss = bss_for_rate(rate)
+        proposed.append(
+            round(
+                median_instance_means(
+                    bss, trace, n_instances, f"{panel_id}:bss:{rate}", seed
+                ),
+                4,
+            )
+        )
+        simple.append(
+            round(
+                median_instance_means(
+                    SimpleRandomSampler.from_rate(rate),
+                    trace, n_instances, f"{panel_id}:ran:{rate}", seed,
+                ),
+                4,
+            )
+        )
+        result = bss.sample(trace, seed & 0xFFFF)
+        overheads.append(round(result.n_extra / max(result.n_base, 1), 4))
+    notes = [
+        "proposed = BSS; real mean shown per row",
+        f"mean BSS overhead over rates = {float(np.mean(overheads)):.3f}",
+    ]
+    if extra_notes:
+        notes.extend(extra_notes)
+    return ExperimentResult(
+        experiment_id=panel_id,
+        title=title,
+        x_name="rate",
+        x_values=[float(r) for r in rates],
+        series={
+            "systematic": systematic,
+            "proposed": proposed,
+            "simple_random": simple,
+            "real_mean": [round(true_mean, 4)] * len(systematic),
+            "bss_overhead": overheads,
+        },
+        notes=notes,
+    )

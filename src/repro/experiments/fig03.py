@@ -1,0 +1,48 @@
+"""Fig. 3: the SNC numerical method (Theorem 1, S1-S3) recovers beta.
+
+Panel (a): stratified random sampling; panel (b): simple random sampling.
+Both run the FFT convolution-power check over beta in 0.1..0.8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.renewal import IntervalDistribution
+from repro.core.snc import snc_sweep
+from repro.experiments.config import MASTER_SEED
+from repro.experiments.runner import ExperimentResult
+
+INTERVAL = 10
+BETAS = np.round(np.arange(0.1, 0.85, 0.1), 2)
+
+
+def _panel(dist: IntervalDistribution, panel_id: str, title: str) -> ExperimentResult:
+    results = snc_sweep(dist, BETAS)
+    return ExperimentResult(
+        experiment_id=panel_id,
+        title=title,
+        x_name="beta",
+        x_values=[float(b) for b in BETAS],
+        series={"beta_hat": [round(r.beta_hat, 4) for r in results]},
+        notes=[
+            f"all preserved (tol 0.05): {all(r.preserved() for r in results)}",
+            "max error = "
+            f"{max(abs(r.beta_hat - r.beta) for r in results):.4f}",
+        ],
+    )
+
+
+def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+    return [
+        _panel(
+            IntervalDistribution.stratified(INTERVAL),
+            "fig03a",
+            "SNC check: stratified random sampling (C=10)",
+        ),
+        _panel(
+            IntervalDistribution.geometric(1.0 / INTERVAL),
+            "fig03b",
+            "SNC check: simple random sampling (r=0.1)",
+        ),
+    ]

@@ -1,0 +1,41 @@
+"""Fig. 9: the unbiased-L surface L(eta, eps) of Eq. (23).
+
+``L = eta * m^(2 alpha) / (m - 1)``: grows with eta, explodes as eps
+approaches the infeasible boundary (alpha-1)/alpha, and grows again at
+large eps.  Rendered as one series per eta over an eps grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import l_surface
+from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
+from repro.experiments.runner import ExperimentResult
+
+ETAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+    eps_grid = np.round(np.linspace(0.4, 2.0, 17), 3)
+    surface = l_surface(ETAS, eps_grid, PARETO_ALPHA)
+    series = {
+        f"eta={eta}": [
+            round(float(v), 3) if np.isfinite(v) else float("nan")
+            for v in surface[i]
+        ]
+        for i, eta in enumerate(ETAS)
+    }
+    eps1 = (PARETO_ALPHA - 1.0) / PARETO_ALPHA
+    return ExperimentResult(
+        experiment_id="fig09",
+        title=f"L(eta, eps) from Eq. 23 (alpha={PARETO_ALPHA})",
+        x_name="eps",
+        x_values=[float(e) for e in eps_grid],
+        series=series,
+        notes=[
+            f"infeasible boundary eps1 = (alpha-1)/alpha = {eps1:.3f} "
+            "(NaN cells below it)",
+            "L increases with eta and explodes as eps -> eps1+",
+        ],
+    )

@@ -1,0 +1,46 @@
+"""Fig. 10: the bias surface xi(L, eps) and its intersection with xi = 1.
+
+One series per L over an eps grid, with the unbiased roots (where the
+surface crosses the xi = 1 plane, given the baseline eta) in the notes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import epsilon_roots, xi_surface
+from repro.errors import DesignError
+from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
+from repro.experiments.runner import ExperimentResult
+
+LS = (1, 2, 5, 8, 10)
+BASELINE_ETA = 0.148  # the synthetic baseline implied by Fig. 12's settings
+
+
+def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+    eps_grid = np.round(np.linspace(0.2, 3.0, 15), 3)
+    surface = xi_surface(LS, eps_grid, PARETO_ALPHA, baseline_eta=BASELINE_ETA)
+    series = {
+        f"L={L}": [round(float(v), 4) for v in surface[i]]
+        for i, L in enumerate(LS)
+    }
+    notes = []
+    for L in LS:
+        try:
+            eps1, eps2 = epsilon_roots(L, PARETO_ALPHA, BASELINE_ETA)
+            notes.append(
+                f"L={L}: xi=1 at eps1={eps1:.3f} (infeasible), eps2={eps2:.3f}"
+            )
+        except DesignError:
+            notes.append(f"L={L}: no unbiased eps for eta={BASELINE_ETA}")
+    return ExperimentResult(
+        experiment_id="fig10",
+        title=(
+            f"xi(L, eps) surface (alpha={PARETO_ALPHA}, "
+            f"baseline eta={BASELINE_ETA})"
+        ),
+        x_name="eps",
+        x_values=[float(e) for e in eps_grid],
+        series=series,
+        notes=notes,
+    )

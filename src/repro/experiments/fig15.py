@@ -1,0 +1,37 @@
+"""Fig. 15: the overhead surface L'/N = L * m^(-2 alpha) over (L, eps).
+
+The design guidance the paper draws from it: avoid small eps (< 0.5,
+where the overhead rockets) and large L.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import overhead_surface
+from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
+from repro.experiments.runner import ExperimentResult
+
+LS = (1, 2, 5, 8, 10)
+
+
+def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+    eps_grid = np.round(np.linspace(0.3, 3.0, 14), 3)
+    surface = overhead_surface(LS, eps_grid, PARETO_ALPHA)
+    series = {
+        f"L={L}": [round(float(v), 4) for v in surface[i]]
+        for i, L in enumerate(LS)
+    }
+    rocket = surface[:, eps_grid < 0.5]
+    tame = surface[:, eps_grid >= 1.0]
+    return ExperimentResult(
+        experiment_id="fig15",
+        title=f"expected overhead L'/N over (L, eps), alpha={PARETO_ALPHA}",
+        x_name="eps",
+        x_values=[float(e) for e in eps_grid],
+        series=series,
+        notes=[
+            f"overhead at eps<0.5 is {rocket.mean() / max(tame.mean(), 1e-12):.0f}x "
+            "the eps>=1 regime — the paper's 'avoid small eps' rule",
+        ],
+    )

@@ -1,0 +1,34 @@
+"""Fig. 17: *biased* BSS with known eta on the Bell-Labs-like trace.
+
+Same procedure as Fig. 16 with the paper's real-trace knobs: panel (a)
+fixes L = 30, panel (b) fixes eps = 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import (
+    MASTER_SEED,
+    REAL_ALPHA,
+    REAL_RATES,
+    instances,
+    real_trace,
+    usable_rates,
+)
+from repro.experiments.fig16 import build_panels
+from repro.experiments.runner import ExperimentResult
+
+
+def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+    trace = real_trace(scale, seed)
+    rates = usable_rates(REAL_RATES, len(trace))
+    return build_panels(
+        trace,
+        rates,
+        REAL_ALPHA,
+        tag="fig17",
+        scale=scale,
+        seed=seed,
+        l_fixed=30,
+        eps_fixed=1.0,
+        title_prefix="biased BSS, Bell-Labs-like trace",
+    )

@@ -1,0 +1,123 @@
+"""Experiment result container, shared sweep helpers, and the registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.base import Sampler
+from repro.core.variance import instance_means
+from repro.errors import ParameterError
+from repro.utils.rng import stream_for
+from repro.utils.tables import format_series_table
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One figure panel as a data table.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper figure id, e.g. ``"fig18a"``.
+    title:
+        Human-readable description.
+    x_name / x_values:
+        The x-axis of the original figure.
+    series:
+        One named column per plotted curve.
+    notes:
+        Free-form findings (fitted exponents, averages, ...), printed
+        under the table.
+    """
+
+    experiment_id: str
+    title: str
+    x_name: str
+    x_values: Sequence
+    series: Mapping[str, Sequence]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = format_series_table(
+            self.x_name,
+            list(self.x_values),
+            {k: list(v) for k, v in self.series.items()},
+            title=f"[{self.experiment_id}] {self.title}",
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return table
+
+
+def median_instance_means(
+    sampler: Sampler, process, n_instances: int, seed_label: str, seed: int
+) -> float:
+    """Median sampled mean across instances.
+
+    The paper's 'sampled mean vs rate' curves show a *typical* sampling
+    outcome.  The instance mean is unbiased for every technique, so the
+    under-estimation phenomenon lives in the median (most instances miss
+    the rare large values; a few overshoot hugely).
+    """
+    rng = stream_for(seed_label, seed)
+    means = instance_means(sampler, process, n_instances, rng)
+    return float(np.median(means))
+
+
+def mean_sweep(
+    samplers_for_rate: Callable[[float], Mapping[str, Sampler]],
+    process,
+    rates,
+    *,
+    n_instances: int,
+    seed: int,
+    seed_label: str,
+) -> dict[str, list[float]]:
+    """Median sampled mean per rate for a family of samplers.
+
+    ``samplers_for_rate(rate)`` returns the named samplers to compare at
+    that rate (they usually all share the rate).
+    """
+    out: dict[str, list[float]] = {}
+    for rate in rates:
+        for name, sampler in samplers_for_rate(float(rate)).items():
+            value = median_instance_means(
+                sampler, process, n_instances, f"{seed_label}:{name}:{rate}", seed
+            )
+            out.setdefault(name, []).append(value)
+    return out
+
+
+# ----------------------------------------------------------------- registry
+#: Experiment name -> module path; every paper figure has an entry.
+_REGISTRY: dict[str, str] = {
+    f"fig{n:02d}": f"repro.experiments.fig{n:02d}"
+    for n in (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18,
+              19, 20, 21, 22)
+}
+
+
+def available_experiments() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    name: str, *, scale: float = 1.0, seed: int | None = None
+) -> list[ExperimentResult]:
+    """Run one figure's experiment; returns its panels."""
+    if name not in _REGISTRY:
+        raise ParameterError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        )
+    module = importlib.import_module(_REGISTRY[name])
+    kwargs = {"scale": scale}
+    if seed is not None:
+        kwargs["seed"] = seed
+    results = module.run(**kwargs)
+    if isinstance(results, ExperimentResult):
+        return [results]
+    return list(results)

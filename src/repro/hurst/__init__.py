@@ -1,0 +1,54 @@
+"""Hurst estimation substrate: six estimators behind one dispatcher."""
+
+from repro.hurst.aggvar import aggregated_variance_hurst
+from repro.hurst.base import HurstEstimate, beta_from_hurst, hurst_from_beta
+from repro.hurst.confidence import (
+    HurstInterval,
+    hurst_confidence_interval,
+    moving_block_resample,
+)
+from repro.hurst.dfa import dfa_hurst
+from repro.hurst.periodogram import periodogram, periodogram_hurst
+from repro.hurst.registry import available_methods, estimate_all, estimate_hurst
+from repro.hurst.rs import rs_hurst
+from repro.hurst.wavelet import (
+    DAUBECHIES_FILTERS,
+    LogscaleDiagram,
+    dwt,
+    idwt_haar,
+    logscale_diagram,
+    wavelet_filters,
+    wavelet_hurst,
+)
+from repro.hurst.whittle import (
+    fgn_spectral_density,
+    fgn_whittle_hurst,
+    local_whittle_hurst,
+)
+
+__all__ = [
+    "HurstEstimate",
+    "HurstInterval",
+    "hurst_confidence_interval",
+    "moving_block_resample",
+    "beta_from_hurst",
+    "hurst_from_beta",
+    "aggregated_variance_hurst",
+    "rs_hurst",
+    "periodogram",
+    "periodogram_hurst",
+    "local_whittle_hurst",
+    "fgn_whittle_hurst",
+    "fgn_spectral_density",
+    "dfa_hurst",
+    "wavelet_hurst",
+    "dwt",
+    "idwt_haar",
+    "wavelet_filters",
+    "logscale_diagram",
+    "LogscaleDiagram",
+    "DAUBECHIES_FILTERS",
+    "estimate_hurst",
+    "estimate_all",
+    "available_methods",
+]

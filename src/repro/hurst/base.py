@@ -1,0 +1,74 @@
+"""Common types for Hurst estimation.
+
+Every estimator returns a :class:`HurstEstimate` carrying the point
+estimate, the method name, the underlying straight-line fit (when the
+method is regression-based), and method-specific diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.fitting import LinearFit
+from repro.errors import ParameterError
+
+
+def beta_from_hurst(hurst: float) -> float:
+    """The paper's ACF exponent: beta = 2 - 2H (from H = 1 - beta/2)."""
+    if not 0.0 < hurst < 1.0:
+        raise ParameterError(f"hurst must lie in (0, 1), got {hurst}")
+    return 2.0 - 2.0 * hurst
+
+
+def hurst_from_beta(beta: float) -> float:
+    """Inverse map: H = 1 - beta/2 = (2 - beta)/2."""
+    if not 0.0 < beta < 2.0:
+        raise ParameterError(f"beta must lie in (0, 2), got {beta}")
+    return 1.0 - beta / 2.0
+
+
+@dataclass(frozen=True)
+class HurstEstimate:
+    """Result of a Hurst-parameter estimation.
+
+    Attributes
+    ----------
+    hurst:
+        Point estimate of H.
+    method:
+        Estimator name (e.g. ``"wavelet"``).
+    fit:
+        The regression behind the estimate, when applicable; its
+        ``r_squared`` and ``slope_stderr`` quantify scaling quality.
+    details:
+        Method-specific diagnostics (scales used, energies, ...).
+    """
+
+    hurst: float
+    method: str
+    fit: LinearFit | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def beta(self) -> float:
+        """The ACF exponent implied by the estimate (paper's beta)."""
+        return beta_from_hurst(min(max(self.hurst, 1e-6), 1.0 - 1e-6))
+
+    @property
+    def is_lrd(self) -> bool:
+        """The paper's LRD test: H significantly above 1/2.
+
+        Uses the slope standard error when available (two-sigma rule);
+        otherwise a plain threshold at 0.55.
+        """
+        if self.fit is not None and self.fit.slope_stderr > 0:
+            # All regression estimators here map slope linearly to H, so the
+            # slope stderr translates 1:1 (up to the map's constant factor,
+            # bounded by 1/2) onto H; use it as-is for a conservative test.
+            return self.hurst - 2.0 * self.fit.slope_stderr > 0.5
+        return self.hurst > 0.55
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        quality = f", R^2={self.fit.r_squared:.3f}" if self.fit else ""
+        return f"H={self.hurst:.3f} ({self.method}{quality})"

@@ -1,0 +1,119 @@
+"""Bootstrap confidence intervals for Hurst estimates.
+
+Point estimates of H on real traces (the paper quotes "the (measured)
+Hurst parameter 0.62" without error bars) hide substantial uncertainty.
+This module provides a moving-block bootstrap: long blocks preserve the
+short- and mid-range dependence structure, so resampling them gives an
+honest spread for any of the registry estimators.
+
+The moving-block bootstrap is *anti-conservative* for LRD series (no
+finite block captures infinite-range dependence), so intervals should be
+read as lower bounds on the true uncertainty — documented here rather
+than discovered by users the hard way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.hurst.registry import estimate_hurst
+from repro.utils.arrays import as_float_array
+from repro.utils.rng import normalize_rng
+from repro.utils.validation import require_int_at_least, require_probability
+
+
+@dataclass(frozen=True)
+class HurstInterval:
+    """A bootstrap confidence interval for the Hurst parameter."""
+
+    point: float
+    low: float
+    high: float
+    level: float
+    method: str
+    n_resamples: int
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"H={self.point:.3f} [{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.level:.0%} ({self.method})"
+        )
+
+
+def moving_block_resample(
+    values: np.ndarray, block: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One moving-block bootstrap resample of the same length."""
+    n = values.size
+    if block >= n:
+        raise EstimationError(f"block {block} must be shorter than series {n}")
+    n_blocks = int(np.ceil(n / block))
+    starts = rng.integers(0, n - block + 1, size=n_blocks)
+    pieces = [values[s : s + block] for s in starts]
+    return np.concatenate(pieces)[:n]
+
+
+def hurst_confidence_interval(
+    values,
+    method: str = "wavelet",
+    *,
+    level: float = 0.9,
+    n_resamples: int = 50,
+    block: int | None = None,
+    rng=None,
+    **estimator_kwargs,
+) -> HurstInterval:
+    """Moving-block bootstrap CI for any registry estimator.
+
+    Parameters
+    ----------
+    level:
+        Two-sided confidence level (percentile bootstrap).
+    n_resamples:
+        Bootstrap replicates; 50 is enough for a 90% percentile interval.
+    block:
+        Block length; defaults to ``n ** 0.6`` (grows with the series so
+        longer series capture longer dependence).
+    """
+    x = as_float_array(values, name="values", min_length=64)
+    require_probability("level", level)
+    require_int_at_least("n_resamples", n_resamples, 8)
+    gen = normalize_rng(rng)
+    if block is None:
+        block = max(int(x.size**0.6), 8)
+
+    point = estimate_hurst(x, method, **estimator_kwargs).hurst
+    replicates = []
+    for __ in range(n_resamples):
+        resample = moving_block_resample(x, block, gen)
+        try:
+            replicates.append(
+                estimate_hurst(resample, method, **estimator_kwargs).hurst
+            )
+        except EstimationError:
+            continue
+    if len(replicates) < n_resamples // 2:
+        raise EstimationError(
+            f"only {len(replicates)}/{n_resamples} bootstrap replicates "
+            "succeeded; series too short or degenerate"
+        )
+    tail = (1.0 - level) / 2.0
+    low, high = np.quantile(replicates, [tail, 1.0 - tail])
+    return HurstInterval(
+        point=float(point),
+        low=float(low),
+        high=float(high),
+        level=level,
+        method=method,
+        n_resamples=len(replicates),
+    )

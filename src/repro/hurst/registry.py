@@ -1,0 +1,58 @@
+"""Single entry point for Hurst estimation: :func:`estimate_hurst`."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.hurst.aggvar import aggregated_variance_hurst
+from repro.hurst.base import HurstEstimate
+from repro.hurst.dfa import dfa_hurst
+from repro.hurst.periodogram import periodogram_hurst
+from repro.hurst.rs import rs_hurst
+from repro.hurst.wavelet import wavelet_hurst
+from repro.hurst.whittle import fgn_whittle_hurst, local_whittle_hurst
+
+_ESTIMATORS: dict[str, Callable[..., HurstEstimate]] = {
+    "aggregated_variance": aggregated_variance_hurst,
+    "rs": rs_hurst,
+    "periodogram": periodogram_hurst,
+    "local_whittle": local_whittle_hurst,
+    "fgn_whittle": fgn_whittle_hurst,
+    "dfa": dfa_hurst,
+    "wavelet": wavelet_hurst,
+}
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`estimate_hurst`."""
+    return sorted(_ESTIMATORS)
+
+
+def estimate_hurst(values, method: str = "wavelet", **kwargs) -> HurstEstimate:
+    """Estimate the Hurst parameter of a series.
+
+    Parameters
+    ----------
+    values:
+        The traffic series f(t) (or any stationary series).
+    method:
+        One of :func:`available_methods`.  The default, ``"wavelet"``, is
+        the estimator the paper itself uses (Abry-Veitch).
+    kwargs:
+        Forwarded to the chosen estimator.
+    """
+    try:
+        estimator = _ESTIMATORS[method]
+    except KeyError:
+        raise ParameterError(
+            f"unknown Hurst method {method!r}; available: {available_methods()}"
+        ) from None
+    return estimator(values, **kwargs)
+
+
+def estimate_all(values, methods=None, **kwargs) -> dict[str, HurstEstimate]:
+    """Run several estimators on one series (for cross-validation plots)."""
+    chosen = methods if methods is not None else available_methods()
+    return {name: estimate_hurst(values, name, **kwargs.get(name, {}))
+            for name in chosen}

@@ -1,0 +1,27 @@
+"""Queueing extension: fBm queue asymptotics and discrete-time simulation."""
+
+from repro.queueing.norros import (
+    kappa,
+    overflow_probability,
+    required_buffer,
+    required_capacity,
+)
+from repro.queueing.simulation import (
+    QueueStats,
+    queue_occupancy,
+    simulate_queue,
+    tail_probabilities,
+    utilisation_for_load,
+)
+
+__all__ = [
+    "kappa",
+    "overflow_probability",
+    "required_buffer",
+    "required_capacity",
+    "queue_occupancy",
+    "simulate_queue",
+    "tail_probabilities",
+    "utilisation_for_load",
+    "QueueStats",
+]

@@ -1,0 +1,109 @@
+"""Norros' fractional-Brownian-motion queue asymptotics.
+
+The paper motivates Hurst estimation with "the Hurst parameter ... is
+crucial for queuing analysis".  This module supplies that analysis: for a
+queue fed by fBm traffic ``A(t) = m t + sqrt(a m) Z_H(t)`` and drained at
+constant capacity ``C``, Norros (1994) gives the storage-tail
+approximation::
+
+    P(Q > b)  ~=  exp( - (C - m)^{2H} b^{2-2H} / (2 kappa(H)^2 a m) ),
+
+with ``kappa(H) = H^H (1 - H)^{1-H}``.  For H = 1/2 this collapses to the
+classical exponential M/D/1-style tail; for H > 1/2 the tail is a Weibull
+stretch — queues under LRD traffic are *much* fuller, which is why
+sampling that mis-measures H mis-provisions links.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import require_positive
+
+
+def kappa(hurst: float) -> float:
+    """Norros' constant ``H^H (1-H)^(1-H)``."""
+    if not 0.0 < hurst < 1.0:
+        raise ParameterError(f"hurst must lie in (0, 1), got {hurst}")
+    return hurst**hurst * (1.0 - hurst) ** (1.0 - hurst)
+
+
+def overflow_probability(
+    buffer, capacity: float, mean_rate: float, hurst: float, *,
+    variance_coeff: float = 1.0,
+) -> np.ndarray:
+    """Norros tail approximation P(Q > buffer) (vectorised over buffer).
+
+    Parameters
+    ----------
+    capacity / mean_rate:
+        Service and mean arrival rates; requires ``capacity > mean_rate``.
+    variance_coeff:
+        The peakedness ``a`` (variance of arrivals per unit mean).
+    """
+    require_positive("capacity", capacity)
+    require_positive("mean_rate", mean_rate)
+    require_positive("variance_coeff", variance_coeff)
+    if capacity <= mean_rate:
+        raise ParameterError(
+            f"capacity {capacity} must exceed mean rate {mean_rate} for stability"
+        )
+    if not 0.0 < hurst < 1.0:
+        raise ParameterError(f"hurst must lie in (0, 1), got {hurst}")
+    buffer = np.asarray(buffer, dtype=np.float64)
+    if np.any(buffer < 0):
+        raise ParameterError("buffer sizes must be non-negative")
+    exponent = (
+        (capacity - mean_rate) ** (2.0 * hurst)
+        * buffer ** (2.0 - 2.0 * hurst)
+        / (2.0 * kappa(hurst) ** 2 * variance_coeff * mean_rate)
+    )
+    return np.exp(-exponent)
+
+
+def required_buffer(
+    target_probability: float,
+    capacity: float,
+    mean_rate: float,
+    hurst: float,
+    *,
+    variance_coeff: float = 1.0,
+) -> float:
+    """Buffer size achieving a target overflow probability (inverts Norros)."""
+    if not 0.0 < target_probability < 1.0:
+        raise ParameterError(
+            f"target_probability must lie in (0, 1), got {target_probability}"
+        )
+    log_term = -math.log(target_probability)
+    numerator = 2.0 * kappa(hurst) ** 2 * variance_coeff * mean_rate * log_term
+    denominator = (capacity - mean_rate) ** (2.0 * hurst)
+    return float((numerator / denominator) ** (1.0 / (2.0 - 2.0 * hurst)))
+
+
+def required_capacity(
+    target_probability: float,
+    buffer: float,
+    mean_rate: float,
+    hurst: float,
+    *,
+    variance_coeff: float = 1.0,
+) -> float:
+    """Service rate achieving a target overflow probability at fixed buffer.
+
+    This is the provisioning question a measurement system ultimately
+    answers — and where an under-estimated H silently under-provisions.
+    """
+    if not 0.0 < target_probability < 1.0:
+        raise ParameterError(
+            f"target_probability must lie in (0, 1), got {target_probability}"
+        )
+    require_positive("buffer", buffer)
+    log_term = -math.log(target_probability)
+    lhs = (
+        2.0 * kappa(hurst) ** 2 * variance_coeff * mean_rate * log_term
+        / buffer ** (2.0 - 2.0 * hurst)
+    )
+    return float(mean_rate + lhs ** (1.0 / (2.0 * hurst)))

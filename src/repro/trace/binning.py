@@ -1,0 +1,89 @@
+"""Time-binning packet traces into rate processes.
+
+Turns an event-level :class:`~repro.trace.packet.PacketTrace` into the
+fixed-granularity series f(t) that the paper's samplers and estimators
+operate on.  Byte and packet counting are both supported; bin mass is
+conserved exactly (every packet lands in exactly one bin).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.trace.packet import PacketTrace
+from repro.trace.process import RateProcess
+from repro.utils.validation import require_positive
+
+
+def _bin_edges(trace: PacketTrace, bin_width: float, t0, n_bins):
+    if len(trace) == 0:
+        raise ParameterError("cannot bin an empty trace")
+    start = float(trace.timestamps[0]) if t0 is None else float(t0)
+    if n_bins is None:
+        span = float(trace.timestamps[-1]) - start
+        n_bins = max(int(math.floor(span / bin_width)) + 1, 1)
+    return start, int(n_bins)
+
+
+def bin_bytes(
+    trace: PacketTrace,
+    bin_width: float,
+    *,
+    t0: float | None = None,
+    n_bins: int | None = None,
+) -> RateProcess:
+    """Total bytes per bin of width ``bin_width`` seconds.
+
+    Parameters
+    ----------
+    t0:
+        Left edge of the first bin; defaults to the first packet time.
+    n_bins:
+        Number of bins; defaults to just covering the trace.  Packets
+        outside ``[t0, t0 + n_bins * bin_width)`` are dropped.
+    """
+    require_positive("bin_width", bin_width)
+    start, count = _bin_edges(trace, bin_width, t0, n_bins)
+    idx = np.floor((trace.timestamps - start) / bin_width).astype(np.int64)
+    ok = (idx >= 0) & (idx < count)
+    volumes = np.bincount(
+        idx[ok], weights=trace.sizes[ok].astype(np.float64), minlength=count
+    )
+    return RateProcess(values=volumes, bin_width=bin_width, unit="bytes/bin")
+
+
+def bin_packets(
+    trace: PacketTrace,
+    bin_width: float,
+    *,
+    t0: float | None = None,
+    n_bins: int | None = None,
+) -> RateProcess:
+    """Packet count per bin of width ``bin_width`` seconds."""
+    require_positive("bin_width", bin_width)
+    start, count = _bin_edges(trace, bin_width, t0, n_bins)
+    idx = np.floor((trace.timestamps - start) / bin_width).astype(np.int64)
+    ok = (idx >= 0) & (idx < count)
+    counts = np.bincount(idx[ok], minlength=count).astype(np.float64)
+    return RateProcess(values=counts, bin_width=bin_width, unit="packets/bin")
+
+
+def bin_od_flow(
+    trace: PacketTrace,
+    pairs,
+    bin_width: float,
+    *,
+    by: str = "bytes",
+    t0: float | None = None,
+    n_bins: int | None = None,
+) -> RateProcess:
+    """Bin only the chosen OD pairs — the paper's monitored f(t) in one call."""
+    sub = trace.filter_od(pairs)
+    if by == "bytes":
+        return bin_bytes(sub, bin_width, t0=t0, n_bins=n_bins)
+    if by == "packets":
+        return bin_packets(sub, bin_width, t0=t0, n_bins=n_bins)
+    raise ParameterError(f"by must be 'bytes' or 'packets', got {by!r}")

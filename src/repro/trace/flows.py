@@ -1,0 +1,114 @@
+"""Origin-destination flow extraction and aggregation.
+
+The paper motivates sampling with OD-flow monitoring: "we need to know the
+mean value of the aggregated traffic of 2 specified OD flows going between
+west coast and east coast".  This module groups a packet trace by (src, dst)
+pair, summarises each flow, and aggregates chosen subsets back into a
+single traffic process the samplers can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.trace.packet import PacketTrace
+
+
+@dataclass(frozen=True)
+class FlowSummary:
+    """Per-OD-flow statistics."""
+
+    src: int
+    dst: int
+    packets: int
+    bytes: int
+    first_seen: float
+    last_seen: float
+
+    @property
+    def od_pair(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def mean_rate(self) -> float:
+        """Bytes/second over the flow's active span (0 if instantaneous)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes / self.duration
+
+
+class FlowTable:
+    """All OD flows of a trace, addressable by (src, dst) pair."""
+
+    def __init__(self, trace: PacketTrace) -> None:
+        self._trace = trace
+        keys = trace._od_keys()
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        unique_keys, starts = np.unique(sorted_keys, return_index=True)
+        boundaries = np.append(starts, sorted_keys.size)
+
+        self._flows: dict[tuple[int, int], FlowSummary] = {}
+        for i, key in enumerate(unique_keys):
+            idx = order[boundaries[i] : boundaries[i + 1]]
+            src = int(key >> np.uint64(32))
+            dst = int(key & np.uint64(0xFFFFFFFF))
+            ts = trace.timestamps[idx]
+            self._flows[(src, dst)] = FlowSummary(
+                src=src,
+                dst=dst,
+                packets=int(idx.size),
+                bytes=int(trace.sizes[idx].sum(dtype=np.int64)),
+                first_seen=float(ts.min()),
+                last_seen=float(ts.max()),
+            )
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return tuple(pair) in self._flows
+
+    def __getitem__(self, pair: tuple[int, int]) -> FlowSummary:
+        return self._flows[tuple(pair)]
+
+    def __iter__(self):
+        return iter(self._flows.values())
+
+    @property
+    def pairs(self) -> list[tuple[int, int]]:
+        return list(self._flows.keys())
+
+    def top_flows(self, k: int, *, by: str = "bytes") -> list[FlowSummary]:
+        """The ``k`` largest flows by ``bytes`` or ``packets``."""
+        if by not in ("bytes", "packets"):
+            raise ParameterError(f"by must be 'bytes' or 'packets', got {by!r}")
+        ranked = sorted(
+            self._flows.values(), key=lambda f: getattr(f, by), reverse=True
+        )
+        return ranked[: max(k, 0)]
+
+    def total_bytes(self) -> int:
+        return sum(f.bytes for f in self._flows.values())
+
+
+def od_flow_trace(trace: PacketTrace, pairs) -> PacketTrace:
+    """Sub-trace containing exactly the packets of the requested OD pairs."""
+    return trace.filter_od(pairs)
+
+
+def aggregate_flows(trace: PacketTrace, pairs) -> PacketTrace:
+    """Aggregate several OD flows into one packet stream.
+
+    Alias of :func:`od_flow_trace` today (the packets are already a merged
+    time-ordered stream); kept as its own name because the paper treats
+    "aggregation of several OD-flows" as a distinct conceptual operation.
+    """
+    return od_flow_trace(trace, pairs)

@@ -1,0 +1,146 @@
+"""Trace file formats: a readable CSV and a compact binary format.
+
+Two interchangeable on-disk encodings for :class:`~repro.trace.packet.PacketTrace`:
+
+* **CSV** (``.csv``): a commented header line then
+  ``timestamp,src,dst,size,protocol`` rows — greppable, diffable.
+* **Binary** (``.rpt``): an 8-byte magic + little-endian packed records
+  (``<d I I H B`` per packet) — compact enough for millions of packets.
+
+Both round-trip exactly (binary) or to 6-decimal timestamps (CSV).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.packet import PacketTrace
+
+_CSV_HEADER = "# repro-trace v1: timestamp,src,dst,size,protocol"
+_BINARY_MAGIC = b"RPTRACE1"
+_RECORD = struct.Struct("<dIIHB")
+
+
+# --------------------------------------------------------------------- CSV
+def write_csv(trace: PacketTrace, path) -> None:
+    """Write a trace in the CSV format (overwrites ``path``)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="\n") as fh:
+        fh.write(_CSV_HEADER + "\n")
+        for i in range(len(trace)):
+            fh.write(
+                f"{trace.timestamps[i]:.6f},{trace.sources[i]},"
+                f"{trace.destinations[i]},{trace.sizes[i]},{trace.protocols[i]}\n"
+            )
+
+
+def read_csv(path) -> PacketTrace:
+    """Read a CSV trace written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        first = fh.readline().rstrip("\n")
+        if not first.startswith("# repro-trace v1"):
+            raise TraceFormatError(
+                f"{path}: missing 'repro-trace v1' header (got {first!r})"
+            )
+        timestamps, sources, destinations, sizes, protocols = [], [], [], [], []
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 5:
+                raise TraceFormatError(
+                    f"{path}:{lineno}: expected 5 fields, got {len(parts)}"
+                )
+            try:
+                timestamps.append(float(parts[0]))
+                sources.append(int(parts[1]))
+                destinations.append(int(parts[2]))
+                sizes.append(int(parts[3]))
+                protocols.append(int(parts[4]))
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+    return PacketTrace(timestamps, sources, destinations, sizes, protocols)
+
+
+# ------------------------------------------------------------------ binary
+def write_binary(trace: PacketTrace, path) -> None:
+    """Write a trace in the compact binary format (overwrites ``path``)."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(_BINARY_MAGIC)
+        fh.write(struct.pack("<Q", len(trace)))
+        buffer = io.BytesIO()
+        for i in range(len(trace)):
+            buffer.write(
+                _RECORD.pack(
+                    float(trace.timestamps[i]),
+                    int(trace.sources[i]),
+                    int(trace.destinations[i]),
+                    int(trace.sizes[i]),
+                    int(trace.protocols[i]),
+                )
+            )
+        fh.write(buffer.getvalue())
+
+
+def read_binary(path) -> PacketTrace:
+    """Read a binary trace written by :func:`write_binary`."""
+    path = Path(path)
+    data = path.read_bytes()
+    if not data.startswith(_BINARY_MAGIC):
+        raise TraceFormatError(f"{path}: bad magic, not a repro binary trace")
+    (count,) = struct.unpack_from("<Q", data, len(_BINARY_MAGIC))
+    offset = len(_BINARY_MAGIC) + 8
+    expected = offset + count * _RECORD.size
+    if len(data) != expected:
+        raise TraceFormatError(
+            f"{path}: truncated or oversized trace "
+            f"(expected {expected} bytes, found {len(data)})"
+        )
+    timestamps = np.empty(count, dtype=np.float64)
+    sources = np.empty(count, dtype=np.uint32)
+    destinations = np.empty(count, dtype=np.uint32)
+    sizes = np.empty(count, dtype=np.uint32)
+    protocols = np.empty(count, dtype=np.uint8)
+    for i in range(count):
+        ts, src, dst, size, proto = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        timestamps[i] = ts
+        sources[i] = src
+        destinations[i] = dst
+        sizes[i] = size
+        protocols[i] = proto
+    return PacketTrace(timestamps, sources, destinations, sizes, protocols)
+
+
+# ---------------------------------------------------------------- dispatch
+def write_trace(trace: PacketTrace, path) -> None:
+    """Write ``trace`` choosing the format from the file extension."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        write_csv(trace, path)
+    elif path.suffix == ".rpt":
+        write_binary(trace, path)
+    else:
+        raise TraceFormatError(
+            f"unknown trace extension {path.suffix!r} (use .csv or .rpt)"
+        )
+
+
+def read_trace(path) -> PacketTrace:
+    """Read a trace choosing the format from the file extension."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return read_csv(path)
+    if path.suffix == ".rpt":
+        return read_binary(path)
+    raise TraceFormatError(
+        f"unknown trace extension {path.suffix!r} (use .csv or .rpt)"
+    )

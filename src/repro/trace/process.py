@@ -1,0 +1,106 @@
+"""RateProcess: a traffic volume series at fixed time granularity.
+
+This is the paper's ``f(t)`` — "a time series which represents the traffic
+process measured at some fixed time granularity".  Everything downstream
+(samplers, Hurst estimators, burst analysis) consumes a
+:class:`RateProcess`, whether it came from binning a packet trace or from a
+synthetic generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.arrays import as_float_array, block_means
+from repro.utils.validation import require_int_at_least, require_positive
+
+
+@dataclass(frozen=True)
+class RateProcess:
+    """Traffic volume per time bin.
+
+    Attributes
+    ----------
+    values:
+        Volume observed in each bin (bytes, packets, or abstract units).
+    bin_width:
+        Bin duration in seconds.
+    unit:
+        Human-readable unit of ``values`` (metadata only).
+    """
+
+    values: np.ndarray
+    bin_width: float = 1.0
+    unit: str = "bytes/bin"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", as_float_array(self.values, name="values")
+        )
+        require_positive("bin_width", self.bin_width)
+
+    # -------------------------------------------------------------- summary
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def duration(self) -> float:
+        """Covered time span in seconds."""
+        return len(self) * self.bin_width
+
+    @property
+    def mean(self) -> float:
+        """True mean of the series — the paper's ``X_bar`` ground truth."""
+        return float(self.values.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self.values.var())
+
+    @property
+    def mean_per_second(self) -> float:
+        return self.mean / self.bin_width
+
+    # --------------------------------------------------------- manipulation
+    def aggregate(self, m: int) -> "RateProcess":
+        """The aggregated series f^(m) of the paper's Eq. (1).
+
+        Blocks of ``m`` bins are averaged; the result is a RateProcess with
+        ``m``-times wider bins.  Self-similarity means the correlation
+        structure of the result matches the original (paper Eq. (3)).
+        """
+        require_int_at_least("m", m, 1)
+        if m == 1:
+            return self
+        return RateProcess(
+            values=block_means(self.values, m),
+            bin_width=self.bin_width * m,
+            unit=self.unit,
+        )
+
+    def slice(self, start: int, stop: int) -> "RateProcess":
+        """Sub-window [start, stop) of the series."""
+        if not 0 <= start < stop <= len(self):
+            raise ParameterError(
+                f"invalid window [{start}, {stop}) for series of length {len(self)}"
+            )
+        return RateProcess(self.values[start:stop], self.bin_width, self.unit)
+
+    def per_second(self) -> "RateProcess":
+        """Rescale values to a per-second rate (bin width unchanged)."""
+        return RateProcess(
+            self.values / self.bin_width, self.bin_width, unit="per-second"
+        )
+
+    def centered(self) -> np.ndarray:
+        """Zero-mean copy of the values (for correlation work)."""
+        return self.values - self.values.mean()
+
+    @classmethod
+    def from_values(cls, values, *, bin_width: float = 1.0, unit: str = "units/bin"):
+        """Convenience constructor for synthetic series."""
+        return cls(values=np.asarray(values, dtype=np.float64),
+                   bin_width=bin_width, unit=unit)

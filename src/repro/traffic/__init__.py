@@ -1,0 +1,59 @@
+"""Traffic generation substrate: distributions, fGn, on/off, M/G/inf, traces."""
+
+from repro.traffic.arrivals import PacketSizeMix, packetize, zipf_weights
+from repro.traffic.belllabs import (
+    BELL_LABS_ALPHA,
+    BELL_LABS_HURST,
+    BELL_LABS_MEAN_RATE,
+    BellLabsLikeTrace,
+    bell_labs_like_process,
+)
+from repro.traffic.copula import ParetoLRDModel
+from repro.traffic.distributions import (
+    Exponential,
+    Pareto,
+    TruncatedPareto,
+    hurst_for_pareto_alpha,
+    pareto_alpha_for_hurst,
+)
+from repro.traffic.fgn import fbm, fgn_autocovariance, fgn_davies_harte, fgn_hosking
+from repro.traffic.mginf import MGInfinityModel
+from repro.traffic.onoff import OnOffModel, OnOffSource
+from repro.traffic.synthetic import (
+    SYNTHETIC_ALPHA,
+    SYNTHETIC_HURST,
+    SYNTHETIC_MEAN,
+    fgn_trace,
+    onoff_trace,
+    synthetic_trace,
+)
+
+__all__ = [
+    "Pareto",
+    "TruncatedPareto",
+    "Exponential",
+    "pareto_alpha_for_hurst",
+    "hurst_for_pareto_alpha",
+    "fgn_autocovariance",
+    "fgn_davies_harte",
+    "fgn_hosking",
+    "fbm",
+    "OnOffModel",
+    "OnOffSource",
+    "MGInfinityModel",
+    "ParetoLRDModel",
+    "PacketSizeMix",
+    "packetize",
+    "zipf_weights",
+    "synthetic_trace",
+    "onoff_trace",
+    "fgn_trace",
+    "SYNTHETIC_MEAN",
+    "SYNTHETIC_ALPHA",
+    "SYNTHETIC_HURST",
+    "BellLabsLikeTrace",
+    "bell_labs_like_process",
+    "BELL_LABS_HURST",
+    "BELL_LABS_ALPHA",
+    "BELL_LABS_MEAN_RATE",
+]

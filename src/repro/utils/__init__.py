@@ -1,0 +1,24 @@
+"""Shared utilities: RNG handling, validation, array helpers, text tables."""
+
+from repro.utils.arrays import as_float_array, block_means, sliding_disjoint_blocks
+from repro.utils.rng import normalize_rng, spawn_rngs
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    require_in_range,
+    require_int_at_least,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "as_float_array",
+    "block_means",
+    "sliding_disjoint_blocks",
+    "normalize_rng",
+    "spawn_rngs",
+    "format_table",
+    "require_in_range",
+    "require_int_at_least",
+    "require_positive",
+    "require_probability",
+]

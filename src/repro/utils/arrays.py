@@ -1,0 +1,73 @@
+"""Small array helpers used throughout the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def as_float_array(values, *, name: str = "values", min_length: int = 1) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float64 array and validate its length.
+
+    Raises :class:`repro.errors.ParameterError` for empty input, wrong
+    dimensionality, or non-finite entries, which would otherwise surface as
+    cryptic downstream numerics.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ParameterError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size < min_length:
+        raise ParameterError(
+            f"{name} must contain at least {min_length} element(s), got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError(f"{name} contains non-finite entries")
+    return arr
+
+
+def block_means(values: np.ndarray, block: int) -> np.ndarray:
+    """Non-overlapping block means — the aggregated series f^(m) of Eq. (1).
+
+    Trailing elements that do not fill a complete block are dropped, matching
+    the convention of the aggregated-variance literature.
+    """
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    arr = np.asarray(values, dtype=np.float64)
+    usable = (arr.size // block) * block
+    if usable == 0:
+        raise ParameterError(
+            f"series of length {arr.size} has no complete block of size {block}"
+        )
+    return arr[:usable].reshape(-1, block).mean(axis=1)
+
+
+def sliding_disjoint_blocks(values: np.ndarray, block: int) -> np.ndarray:
+    """Return the series reshaped into complete disjoint blocks (rows)."""
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    arr = np.asarray(values, dtype=np.float64)
+    usable = (arr.size // block) * block
+    if usable == 0:
+        raise ParameterError(
+            f"series of length {arr.size} has no complete block of size {block}"
+        )
+    return arr[:usable].reshape(-1, block)
+
+
+def geometric_grid(low: float, high: float, points: int) -> np.ndarray:
+    """Logarithmically spaced grid including both endpoints."""
+    if low <= 0 or high <= low:
+        raise ParameterError(f"need 0 < low < high, got low={low}, high={high}")
+    if points < 2:
+        raise ParameterError(f"points must be >= 2, got {points}")
+    return np.geomspace(low, high, points)
+
+
+def running_mean(values: np.ndarray) -> np.ndarray:
+    """Cumulative running mean of a 1-D array (same length as input)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return arr.copy()
+    return np.cumsum(arr) / np.arange(1, arr.size + 1)

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment output.
+
+The original paper reports everything as figures; this library emits each
+figure as a text table (one row per x value, one column per series) so the
+benchmark harness can print paper-shaped output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _format_cell(value, width: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            text = "0"
+        elif abs(value) >= 1e5 or abs(value) < 1e-3:
+            text = f"{value:.4g}"
+        else:
+            text = f"{value:.5g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    materialized = [list(row) for row in rows]
+    widths = [len(h) for h in headers]
+    rendered_rows: list[list[str]] = []
+    for row in materialized:
+        rendered = []
+        for i, cell in enumerate(row):
+            text = _format_cell(cell, 0).strip()
+            rendered.append(text)
+            if i < len(widths):
+                widths[i] = max(widths[i], len(text))
+            else:
+                widths.append(len(text))
+        rendered_rows.append(rendered)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * max(len(title), 8))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(rendered))
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_name: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a figure-style table: x column plus one column per series."""
+    headers = [x_name, *series.keys()]
+    columns = [list(x_values)] + [list(v) for v in series.values()]
+    length = len(columns[0])
+    for name, col in zip(headers, columns):
+        if len(col) != length:
+            raise ValueError(
+                f"series {name!r} has length {len(col)}, expected {length}"
+            )
+    rows = [[col[i] for col in columns] for i in range(length)]
+    return format_table(headers, rows, title=title)

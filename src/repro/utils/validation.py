@@ -1,0 +1,76 @@
+"""Argument validators shared across the library.
+
+All validators raise :class:`repro.errors.ParameterError` with a message that
+names the offending argument, so failures read well from user code.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise."""
+    if not math.isfinite(value) or value <= 0:
+        raise ParameterError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def require_probability(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Return ``value`` if it lies in (0, 1] (or [0, 1] when allowed)."""
+    lo_ok = value >= 0 if allow_zero else value > 0
+    if not math.isfinite(value) or not lo_ok or value > 1:
+        bound = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ParameterError(f"{name} must lie in {bound}, got {value!r}")
+    return float(value)
+
+
+def require_int_at_least(name: str, value: int, minimum: int) -> int:
+    """Return ``value`` as int if it is an integer >= ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            raise ParameterError(f"{name} must be an integer, got {value!r}") from None
+        if as_int != value:
+            raise ParameterError(f"{name} must be an integer, got {value!r}")
+        value = as_int
+    if value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def require_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies inside [low, high] (or (low, high))."""
+    if inclusive:
+        ok = low <= value <= high
+        interval = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        interval = f"({low}, {high})"
+    if not math.isfinite(value) or not ok:
+        raise ParameterError(f"{name} must lie in {interval}, got {value!r}")
+    return float(value)
+
+
+def require_alpha(name: str, value: float) -> float:
+    """Validate a heavy-tail shape parameter in the paper's range (1, 2).
+
+    The paper restricts itself to infinite-variance, finite-mean Pareto
+    tails, i.e. ``1 < alpha < 2``.
+    """
+    return require_in_range(name, value, 1.0, 2.0, inclusive=False)
+
+
+def require_hurst(name: str, value: float) -> float:
+    """Validate a Hurst parameter for an LRD process: 0.5 < H < 1."""
+    return require_in_range(name, value, 0.5, 1.0, inclusive=False)

@@ -1,0 +1,159 @@
+"""Tests for repro.analysis.acf and repro.analysis.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.acf import (
+    acf_tail_slope,
+    autocorrelation,
+    autocovariance,
+    power_law_acf,
+)
+from repro.analysis.fitting import fit_line, fit_loglog, fit_power_law
+from repro.errors import EstimationError, ParameterError
+from repro.traffic.fgn import fgn_autocovariance, fgn_davies_harte
+
+
+class TestAutocovariance:
+    def test_lag_zero_is_variance(self, rng):
+        x = rng.normal(size=10_000)
+        acov = autocovariance(x, 5)
+        assert acov[0] == pytest.approx(x.var(), rel=1e-9)
+
+    def test_matches_direct_computation(self, rng):
+        x = rng.normal(size=500)
+        acov = autocovariance(x, 3)
+        centered = x - x.mean()
+        direct = np.dot(centered[:-2], centered[2:]) / x.size
+        assert acov[2] == pytest.approx(direct, rel=1e-9)
+
+    def test_white_noise_decorrelated(self, rng):
+        x = rng.normal(size=50_000)
+        acov = autocovariance(x, 10)
+        assert np.all(np.abs(acov[1:]) < 0.05)
+
+    def test_max_lag_bounds(self, rng):
+        x = rng.normal(size=100)
+        assert autocovariance(x, 99).size == 100
+        with pytest.raises(ParameterError):
+            autocovariance(x, 100)
+
+    def test_default_max_lag(self, rng):
+        x = rng.normal(size=64)
+        assert autocovariance(x).size == 64
+
+
+class TestAutocorrelation:
+    def test_normalised_at_zero(self, rng):
+        x = rng.normal(size=1000)
+        acf = autocorrelation(x, 4)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_fgn_matches_theory(self, rng):
+        h = 0.8
+        x = fgn_davies_harte(1 << 17, h, rng)
+        acf = autocorrelation(x, 4)
+        gamma = fgn_autocovariance(h, 5)
+        np.testing.assert_allclose(acf[1:5], gamma[1:5] / gamma[0], atol=0.08)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ParameterError, match="zero variance"):
+            autocorrelation(np.ones(100))
+
+
+class TestPowerLawAcf:
+    def test_values(self):
+        out = power_law_acf([1.0, 4.0], 0.5)
+        np.testing.assert_allclose(out, [1.0, 0.5])
+
+    def test_zero_lag_uses_const(self):
+        out = power_law_acf([0.0, 1.0], 0.3, const=2.0)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ParameterError):
+            power_law_acf([1.0], 1.5)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ParameterError):
+            power_law_acf([-1.0], 0.5)
+
+
+class TestAcfTailSlope:
+    def test_recovers_beta_from_fgn(self, rng):
+        """beta = 2 - 2H; empirical ACF bias allows a loose tolerance."""
+        h = 0.85
+        x = fgn_davies_harte(1 << 18, h, rng)
+        beta_hat, _ = acf_tail_slope(x, min_lag=4, max_lag=128)
+        assert beta_hat == pytest.approx(2 - 2 * h, abs=0.15)
+
+    def test_tiny_fit_window_rejected(self, rng):
+        """Fewer than 4 usable lags cannot anchor a slope."""
+        x = rng.normal(size=32)
+        with pytest.raises(ParameterError):
+            acf_tail_slope(x, min_lag=29, max_lag=30)
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(10, dtype=float)
+        fit = fit_line(x, 3.0 * x + 1.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.slope_stderr == pytest.approx(0.0, abs=1e-9)
+
+    def test_weights_pull_slope(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 1.0, 10.0])
+        heavy_tail = fit_line(x, y, weights=[1.0, 1.0, 100.0])
+        uniform = fit_line(x, y)
+        assert heavy_tail.slope > uniform.slope
+
+    def test_predict(self):
+        fit = fit_line(np.array([0.0, 1.0]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(fit.predict([2.0]), [5.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(EstimationError, match="identical"):
+            fit_line(np.ones(5), np.arange(5.0))
+
+    def test_too_few_points(self):
+        with pytest.raises(EstimationError):
+            fit_line(np.array([1.0]), np.array([1.0]))
+
+    def test_bad_weights(self):
+        with pytest.raises(EstimationError):
+            fit_line(np.arange(3.0), np.arange(3.0), weights=[-1.0, 1.0, 1.0])
+
+
+class TestFitLogLog:
+    def test_power_law_recovered(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 5.0 * x**-0.7
+        fit = fit_loglog(x, y)
+        assert fit.slope == pytest.approx(-0.7)
+        assert np.exp(fit.intercept) == pytest.approx(5.0)
+
+    def test_base_2(self):
+        x = np.array([2.0, 4.0, 8.0])
+        y = x**2
+        fit = fit_loglog(x, y, base=2.0)
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(EstimationError):
+            fit_loglog([1.0, -1.0], [1.0, 1.0])
+        with pytest.raises(EstimationError):
+            fit_loglog([1.0, 2.0], [0.0, 1.0])
+
+
+class TestFitPowerLaw:
+    def test_returns_exponent_and_const(self):
+        x = np.geomspace(1, 100, 20)
+        exponent, const, fit = fit_power_law(x, 2.5 * x**-0.4)
+        assert exponent == pytest.approx(-0.4)
+        assert const == pytest.approx(2.5)
+        assert fit.r_squared == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Tests for repro.analysis.bursts — the Sec. V-B observation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import (
+    analyze_bursts,
+    burst_lengths,
+    empirical_hazard,
+    run_lengths,
+    threshold_process,
+)
+from repro.errors import EstimationError, ParameterError
+from repro.traffic.copula import ParetoLRDModel
+
+
+class TestThresholdProcess:
+    def test_indicator_values(self):
+        q = threshold_process([1.0, 5.0, 2.0, 8.0], 3.0)
+        np.testing.assert_array_equal(q, [0, 1, 0, 1])
+
+    def test_strict_inequality(self):
+        """Eq. (17) uses f(t) > a_th, strictly."""
+        q = threshold_process([3.0], 3.0)
+        np.testing.assert_array_equal(q, [0])
+
+
+class TestRunLengths:
+    def test_basic_runs(self):
+        lengths = run_lengths(np.array([1, 1, 0, 1, 0, 1, 1, 1]))
+        np.testing.assert_array_equal(lengths, [2, 1, 3])
+
+    def test_zero_runs(self):
+        lengths = run_lengths(np.array([1, 1, 0, 0, 1]), value=0)
+        np.testing.assert_array_equal(lengths, [2])
+
+    def test_all_ones(self):
+        np.testing.assert_array_equal(run_lengths(np.ones(5, dtype=int)), [5])
+
+    def test_no_runs(self):
+        assert run_lengths(np.zeros(5, dtype=int)).size == 0
+
+    def test_empty(self):
+        assert run_lengths(np.array([], dtype=int)).size == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            run_lengths(np.ones((2, 2)))
+
+    def test_lengths_sum_to_total_ones(self, rng):
+        q = (rng.random(1000) < 0.4).astype(int)
+        assert run_lengths(q).sum() == q.sum()
+
+
+class TestBurstLengths:
+    def test_counts_bursts_above_threshold(self):
+        values = [0.0, 5.0, 5.0, 0.0, 5.0, 0.0]
+        np.testing.assert_array_equal(burst_lengths(values, 1.0), [2, 1])
+
+
+class TestEmpiricalHazard:
+    def test_known_hazard(self):
+        # Bursts: [1, 1, 2, 3]; P(B=1)=0.5, P(B>=1)=1 -> hazard(1)=0.5.
+        lengths = np.array([1, 1, 2, 3])
+        out = empirical_hazard(lengths, [1, 2, 3])
+        np.testing.assert_allclose(out, [0.5, 0.5, 0.0])
+
+    def test_nan_when_no_bursts_reach_tau(self):
+        out = empirical_hazard(np.array([1, 2]), [5])
+        assert np.isnan(out[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            empirical_hazard(np.array([]), [1])
+
+    def test_heavy_tail_hazard_rises(self, rng):
+        """For Pareto-like bursts the persistence grows with tau (Eq. 20)."""
+        model = ParetoLRDModel.from_mean(5.68, 1.5, 0.8)
+        x = model.generate(1 << 17, rng)
+        lengths = burst_lengths(x, 0.5 * x.mean())
+        taus = np.array([1, 2, 4, 8])
+        hazard = empirical_hazard(lengths, taus)
+        valid = ~np.isnan(hazard)
+        assert hazard[valid][-1] > hazard[valid][0]
+
+
+class TestAnalyzeBursts:
+    def test_full_analysis_on_lrd_traffic(self, rng):
+        model = ParetoLRDModel.from_mean(5.68, 1.5, 0.8)
+        x = model.generate(1 << 16, rng)
+        analysis = analyze_bursts(x, epsilon=0.5)
+        assert analysis.n_bursts >= 8
+        assert analysis.threshold == pytest.approx(0.5 * x.mean())
+        assert analysis.alpha > 0
+        assert analysis.mean_length >= 1.0
+
+    def test_paper_epsilon_range_all_heavy(self, rng):
+        """The paper: alpha varies mildly over eps but the burst tail stays
+        heavy.  (For an exact-Pareto marginal the smallest usable eps is
+        scale/mean = (alpha-1)/alpha ≈ 0.33, so the sweep starts at 0.5.)"""
+        model = ParetoLRDModel.from_mean(5.68, 1.5, 0.8)
+        x = model.generate(1 << 17, rng)
+        for eps in (0.5, 1.0, 1.5):
+            analysis = analyze_bursts(x, epsilon=eps)
+            assert 0.5 < analysis.alpha < 4.0, f"eps={eps}"
+
+    def test_ccdf_output(self, rng):
+        model = ParetoLRDModel.from_mean(5.68, 1.5, 0.8)
+        x = model.generate(1 << 14, rng)
+        analysis = analyze_bursts(x, epsilon=0.5)
+        b, p = analysis.ccdf()
+        assert b.size == p.size
+        assert np.all(np.diff(p) <= 0)
+
+    def test_too_few_bursts_rejected(self):
+        flat = np.ones(100)
+        with pytest.raises(EstimationError):
+            analyze_bursts(flat, epsilon=1.5)
+
+    def test_invalid_epsilon(self, rng):
+        with pytest.raises(ParameterError):
+            analyze_bursts(rng.random(100), epsilon=0.0)

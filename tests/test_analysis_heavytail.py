@@ -1,0 +1,125 @@
+"""Tests for repro.analysis.heavytail."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.heavytail import (
+    empirical_ccdf,
+    fit_pareto_ccdf,
+    hill_estimator,
+    hill_plot,
+    ks_distance,
+    pareto_mle,
+)
+from repro.errors import EstimationError
+from repro.traffic.distributions import Exponential, Pareto
+
+
+class TestEmpiricalCcdf:
+    def test_simple_case(self):
+        x, p = empirical_ccdf([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p, [0.75, 0.5, 0.25])
+
+    def test_ties_collapse_consistently(self):
+        x, p = empirical_ccdf([1.0, 1.0, 2.0])
+        # Pr(X > 1) = 1/3 at both copies of 1.0.
+        np.testing.assert_allclose(p[x == 1.0], 1 / 3)
+
+    def test_monotone_decreasing(self, rng):
+        x, p = empirical_ccdf(rng.exponential(size=500))
+        assert np.all(np.diff(p) <= 0)
+
+    def test_matches_pareto_theory(self, rng):
+        dist = Pareto(scale=1.0, alpha=1.5)
+        sample = dist.sample(100_000, rng)
+        x, p = empirical_ccdf(sample)
+        probe = 10.0
+        idx = np.searchsorted(x, probe)
+        assert p[idx] == pytest.approx(dist.ccdf(probe).item(), rel=0.1)
+
+
+class TestFitParetoCcdf:
+    def test_recovers_alpha(self, rng):
+        dist = Pareto(scale=2.0, alpha=1.5)
+        sample = dist.sample(50_000, rng)
+        fit = fit_pareto_ccdf(sample)
+        assert fit.alpha == pytest.approx(1.5, abs=0.1)
+
+    def test_recovers_scale(self, rng):
+        dist = Pareto(scale=2.0, alpha=1.5)
+        sample = dist.sample(50_000, rng)
+        fit = fit_pareto_ccdf(sample)
+        assert fit.scale == pytest.approx(2.0, rel=0.25)
+
+    def test_straightness_diagnostic(self, rng):
+        """Pareto data must fit nearly perfectly; exponential must not."""
+        pareto_fit = fit_pareto_ccdf(Pareto(1.0, 1.5).sample(20_000, rng))
+        exp_fit = fit_pareto_ccdf(rng.exponential(size=20_000) + 1.0)
+        assert pareto_fit.fit.r_squared > 0.99
+        assert pareto_fit.fit.r_squared > exp_fit.fit.r_squared
+
+    def test_distribution_property(self, rng):
+        fit = fit_pareto_ccdf(Pareto(1.0, 1.4).sample(20_000, rng))
+        assert isinstance(fit.distribution, Pareto)
+
+    def test_too_few_values(self):
+        with pytest.raises(EstimationError):
+            fit_pareto_ccdf([1.0, 2.0, 2.0])
+
+    def test_increasing_tail_rejected(self):
+        # A degenerate "tail" that increases produces a non-positive alpha.
+        values = np.concatenate([np.full(50, 1.0), np.full(500, 2.0)])
+        with pytest.raises(EstimationError):
+            fit_pareto_ccdf(values, tail_fraction=0.99)
+
+
+class TestParetoMle:
+    def test_recovers_alpha(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.7).sample(50_000, rng)
+        alpha, scale = pareto_mle(sample)
+        assert alpha == pytest.approx(1.7, abs=0.05)
+        assert scale == pytest.approx(1.0, rel=0.01)
+
+    def test_explicit_scale(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.5).sample(50_000, rng)
+        alpha, scale = pareto_mle(sample, scale=2.0)
+        # Conditioned above 2.0 the tail is still Pareto(alpha).
+        assert scale == 2.0
+        assert alpha == pytest.approx(1.5, abs=0.1)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            pareto_mle(np.ones(100))
+
+
+class TestHillEstimator:
+    def test_recovers_alpha(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.5).sample(100_000, rng)
+        assert hill_estimator(sample, 5000) == pytest.approx(1.5, abs=0.1)
+
+    def test_k_bounds(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.5).sample(100, rng)
+        with pytest.raises(EstimationError):
+            hill_estimator(sample, 100)
+
+    def test_hill_plot_shape(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.5).sample(5000, rng)
+        ks = [50, 100, 200]
+        estimates = hill_plot(sample, ks)
+        assert estimates.shape == (3,)
+        assert np.all(estimates > 0)
+
+
+class TestKsDistance:
+    def test_good_fit_small_distance(self, rng):
+        dist = Pareto(scale=1.0, alpha=1.5)
+        sample = dist.sample(10_000, rng)
+        assert ks_distance(sample, dist) < 0.02
+
+    def test_bad_fit_large_distance(self, rng):
+        sample = Pareto(scale=1.0, alpha=1.5).sample(10_000, rng)
+        wrong = Exponential(rate=1.0)
+        assert ks_distance(sample, wrong) > 0.2

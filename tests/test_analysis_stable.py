@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.stable — slow mean convergence (Eq. 32-35)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stable import (
+    estimate_cs,
+    eta_model,
+    mean_deviation_exponent,
+    required_samples,
+)
+from repro.errors import EstimationError, ParameterError
+from repro.traffic.distributions import Pareto
+
+
+class TestEtaModel:
+    def test_decreases_with_rate(self):
+        rates = np.array([1e-5, 1e-4, 1e-3, 1e-2])
+        etas = eta_model(rates, 1.5, 1.0, total_points=1_000_000)
+        assert np.all(np.diff(etas) < 0)
+
+    def test_explicit_formula(self):
+        eta = eta_model([1e-4], 1.5, 1.0, total_points=1_000_000)
+        assert eta[0] == pytest.approx((1e-4 * 1e6) ** (1 / 1.5 - 1))
+
+    def test_paper_literal_form(self):
+        """Without total_points Eq. (35) is applied verbatim."""
+        eta = eta_model([0.99], 1.5, 0.3)
+        assert eta[0] == pytest.approx(0.3 * 0.99 ** (1 / 1.5 - 1))
+
+    def test_capped(self):
+        eta = eta_model([1e-9], 1.1, 0.5)
+        assert eta[0] == pytest.approx(0.95)
+
+    def test_invalid_rate(self):
+        with pytest.raises(EstimationError):
+            eta_model([0.0], 1.5, 0.3)
+        with pytest.raises(EstimationError):
+            eta_model([1.5], 1.5, 0.3)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ParameterError):
+            eta_model([0.1], 2.0, 0.3)
+
+
+class TestEstimateCs:
+    def test_round_trip_with_model(self):
+        rates = np.array([1e-4, 1e-3, 1e-2])
+        etas = eta_model(rates, 1.5, 0.9, total_points=1_000_000)
+        cs = estimate_cs(rates, etas, 1.5, total_points=1_000_000)
+        assert cs == pytest.approx(0.9, rel=1e-9)
+
+    def test_skips_saturated_etas(self):
+        rates = np.array([1e-9, 1e-2])
+        etas = np.concatenate(
+            [[0.95], eta_model([1e-2], 1.5, 0.8, total_points=1_000_000)]
+        )
+        cs = estimate_cs(rates, etas, 1.5, total_points=1_000_000)
+        assert cs == pytest.approx(0.8, rel=1e-9)
+
+    def test_no_usable_pairs(self):
+        with pytest.raises(EstimationError):
+            estimate_cs(np.array([1e-3]), np.array([1.0]), 1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            estimate_cs(np.array([1e-3, 1e-2]), np.array([0.1]), 1.5)
+
+
+class TestMeanDeviationExponent:
+    def test_recovers_stable_exponent(self, rng):
+        """|Xs - Xr| ~ N^(1/alpha - 1) on iid Pareto samples."""
+        alpha = 1.5
+        dist = Pareto(scale=1.0, alpha=alpha)
+        ns = np.array([100, 1_000, 10_000, 100_000])
+        deviations = []
+        for n in ns:
+            reps = [
+                abs(dist.sample(int(n), child).mean() - dist.mean)
+                for child in rng.spawn(40)
+            ]
+            deviations.append(np.mean(reps))
+        exponent = mean_deviation_exponent(ns, deviations)
+        assert exponent == pytest.approx(1 / alpha - 1, abs=0.12)
+
+    def test_needs_two_points(self):
+        with pytest.raises(EstimationError):
+            mean_deviation_exponent([10], [0.5])
+
+
+class TestRequiredSamples:
+    def test_monotone_in_accuracy(self):
+        assert required_samples(1.5, 0.01) > required_samples(1.5, 0.1)
+
+    def test_explodes_near_alpha_one(self):
+        """Crovella-Lipsky: accuracy cost explodes as alpha -> 1."""
+        assert required_samples(1.2, 0.01) > required_samples(1.5, 0.01) > 1e3
+
+    def test_alpha_15_order_of_magnitude(self):
+        """Paper: 'even for mild cases where alpha = 1.5, still a million
+        samples' for two-digit accuracy."""
+        n = required_samples(1.5, 0.01)
+        assert 1e5 < n < 1e7
+
+    def test_domain(self):
+        with pytest.raises(EstimationError):
+            required_samples(1.5, 1.5)
+        with pytest.raises(ParameterError):
+            required_samples(2.5, 0.01)

@@ -1,0 +1,163 @@
+"""Tests for repro.analysis.theory — the paper's closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import fit_loglog
+from repro.analysis.theory import (
+    delta_tau,
+    persistence_probability_exponential,
+    persistence_probability_pareto,
+    power_law_autocorrelation,
+    simple_random_sampled_acf,
+    stratified_sampled_acf,
+    systematic_sampled_acf,
+)
+from repro.errors import ParameterError
+
+
+TAUS = np.unique(np.round(np.geomspace(90, 512, 20)).astype(int))
+
+
+class TestPowerLawAutocorrelation:
+    def test_values(self):
+        out = power_law_autocorrelation([1.0, 8.0], 0.5, const=2.0)
+        np.testing.assert_allclose(out, [2.0, 2.0 / np.sqrt(8.0)])
+
+    def test_domain(self):
+        with pytest.raises(ParameterError):
+            power_law_autocorrelation([0.0], 0.5)
+        with pytest.raises(ParameterError):
+            power_law_autocorrelation([1.0], 1.0)
+
+
+class TestDeltaTau:
+    @pytest.mark.parametrize("beta", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_fig4_positivity(self, beta):
+        """Fig. 4: delta_tau > 0 for every beta — Theorem 2 applies."""
+        d = delta_tau(np.arange(1, 101), beta)
+        assert np.all(d > 0)
+
+    def test_fig4_monotone_in_beta_at_tau1(self):
+        """Fig. 4 orders the curves by beta at small tau."""
+        values = [delta_tau([1], beta)[0] for beta in (0.1, 0.5, 0.9)]
+        assert values[0] < values[1] < values[2]
+
+    def test_decreasing_in_tau(self):
+        d = delta_tau(np.arange(1, 50), 0.5)
+        assert np.all(np.diff(d) < 0)
+
+    def test_power_model_exposes_r0_problem(self):
+        """The raw power law with R(0)=1 is negative at tau=1 — documenting
+        why the fGn form is the default."""
+        d = delta_tau([1], 0.5, model="power")
+        assert d[0] < 0
+
+    def test_power_model_positive_beyond_tau1(self):
+        d = delta_tau(np.arange(2, 100), 0.5, model="power")
+        assert np.all(d > 0)
+
+    def test_invalid_model(self):
+        with pytest.raises(ParameterError):
+            delta_tau([1], 0.5, model="exp")
+
+    def test_invalid_tau(self):
+        with pytest.raises(ParameterError):
+            delta_tau([0], 0.5)
+
+
+class TestSystematicAcf:
+    def test_same_exponent(self):
+        rg = systematic_sampled_acf(TAUS.astype(float), 0.4, interval=10)
+        fit = fit_loglog(TAUS, rg)
+        assert -fit.slope == pytest.approx(0.4, abs=1e-9)
+
+    def test_interval_scales_constant(self):
+        r1 = systematic_sampled_acf([100.0], 0.4, interval=1)
+        r10 = systematic_sampled_acf([100.0], 0.4, interval=10)
+        assert r10[0] == pytest.approx(r1[0] * 10**-0.4)
+
+
+class TestStratifiedAcf:
+    @pytest.mark.parametrize("beta", [0.1, 0.4, 0.8])
+    def test_fig3a_beta_recovered(self, beta):
+        rg = stratified_sampled_acf(TAUS.astype(float), beta, interval=10)
+        fit = fit_loglog(TAUS, rg)
+        assert -fit.slope == pytest.approx(beta, abs=0.02)
+
+    def test_approaches_power_law(self):
+        """E[R(tau + tau')] -> R(tau) as tau -> inf since E[tau'] = 0."""
+        taus = np.array([1000.0])
+        rg = stratified_sampled_acf(taus, 0.5, interval=10)
+        rf = power_law_autocorrelation(taus, 0.5)
+        assert rg[0] == pytest.approx(rf[0], rel=1e-4)
+
+    def test_small_tau_rejected(self):
+        with pytest.raises(ParameterError):
+            stratified_sampled_acf([0.5], 0.5, interval=10)
+
+
+class TestSimpleRandomAcf:
+    @pytest.mark.parametrize("beta", [0.1, 0.3, 0.5, 0.8])
+    def test_fig2b_beta_recovered(self, beta):
+        """Fig. 2(b): beta-hat tracks beta across the paper's sweep."""
+        rg = simple_random_sampled_acf(TAUS, beta, rho=0.5)
+        fit = fit_loglog(TAUS, rg)
+        assert -fit.slope == pytest.approx(beta, abs=0.02)
+
+    def test_fig2a_slope_slightly_below_beta(self):
+        """Fig. 2(a): the finite-sum estimate lands near beta = 0.1 from
+        below (the paper reports 0.08)."""
+        rg = simple_random_sampled_acf(TAUS, 0.1, rho=0.5)
+        fit = fit_loglog(TAUS, rg, base=2.0)
+        assert 0.05 <= -fit.slope <= 0.12
+
+    def test_rho_one_is_identity(self):
+        rg = simple_random_sampled_acf(TAUS, 0.5, rho=1.0)
+        rf = power_law_autocorrelation(TAUS.astype(float), 0.5)
+        np.testing.assert_allclose(rg, rf)
+
+    def test_mean_lag_shift(self):
+        """E[a] = tau/rho, so R_g(tau) ~ (tau/rho)^-beta: smaller rho gives
+        smaller correlation at the same sampled lag."""
+        rg_half = simple_random_sampled_acf([128], 0.5, rho=0.5)
+        rg_tenth = simple_random_sampled_acf([128], 0.5, rho=0.1)
+        assert rg_tenth[0] < rg_half[0]
+        assert rg_tenth[0] == pytest.approx((128 / 0.1) ** -0.5, rel=0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ParameterError):
+            simple_random_sampled_acf([0], 0.5, rho=0.5)
+        with pytest.raises(ParameterError):
+            simple_random_sampled_acf([1], 0.5, rho=0.0)
+
+
+class TestPersistence:
+    def test_pareto_persistence_rises_to_one(self):
+        """Eq. (20): ℘(tau) = (tau/(tau+1))^alpha -> 1."""
+        p = persistence_probability_pareto([1, 10, 100, 1000], 1.3)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] > 0.99
+
+    def test_pareto_formula(self):
+        p = persistence_probability_pareto([4], 2.0)
+        assert p[0] == pytest.approx((4 / 5) ** 2)
+
+    def test_exponential_constant(self):
+        """Eq. (19): light tails give constant persistence e^-c."""
+        assert persistence_probability_exponential(0.5) == pytest.approx(
+            np.exp(-0.5)
+        )
+
+    def test_heavy_beats_light_eventually(self):
+        heavy = persistence_probability_pareto([50], 1.5)[0]
+        light = persistence_probability_exponential(0.5)
+        assert heavy > light
+
+    def test_domains(self):
+        with pytest.raises(ParameterError):
+            persistence_probability_pareto([0], 1.5)
+        with pytest.raises(ParameterError):
+            persistence_probability_exponential(0.0)

@@ -1,0 +1,97 @@
+"""Tests for the bootstrap Hurst confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.hurst.confidence import (
+    HurstInterval,
+    hurst_confidence_interval,
+    moving_block_resample,
+)
+from repro.traffic.fgn import fgn_davies_harte
+
+
+class TestMovingBlockResample:
+    def test_length_preserved(self, rng):
+        x = rng.normal(size=1000)
+        out = moving_block_resample(x, 50, rng)
+        assert out.size == 1000
+
+    def test_values_from_original(self, rng):
+        x = np.arange(200, dtype=float)
+        out = moving_block_resample(x, 20, rng)
+        assert set(out.tolist()) <= set(x.tolist())
+
+    def test_blocks_are_contiguous_runs(self, rng):
+        x = np.arange(500, dtype=float)
+        block = 25
+        out = moving_block_resample(x, block, rng)
+        # Inside a block, consecutive values differ by exactly 1.
+        diffs = np.diff(out)
+        interior = np.ones(out.size - 1, dtype=bool)
+        interior[block - 1 :: block] = False  # block joints may jump
+        assert np.all(diffs[interior] == 1.0)
+
+    def test_block_too_long_rejected(self, rng):
+        with pytest.raises(EstimationError):
+            moving_block_resample(np.arange(10.0), 10, rng)
+
+    def test_deterministic_given_rng(self):
+        x = np.arange(100, dtype=float)
+        a = moving_block_resample(x, 10, np.random.default_rng(1))
+        b = moving_block_resample(x, 10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHurstConfidenceInterval:
+    @pytest.fixture(scope="class")
+    def path(self):
+        return fgn_davies_harte(1 << 14, 0.8, 77)
+
+    def test_interval_brackets_point(self, path):
+        interval = hurst_confidence_interval(
+            path, "aggregated_variance", n_resamples=20, rng=1
+        )
+        assert isinstance(interval, HurstInterval)
+        assert interval.low <= interval.high
+        assert 0 < interval.width < 0.6
+
+    def test_interval_near_truth(self, path):
+        interval = hurst_confidence_interval(
+            path, "aggregated_variance", n_resamples=24, rng=2
+        )
+        # Block bootstrap is anti-conservative for LRD; allow slack.
+        assert interval.low - 0.15 <= 0.8 <= interval.high + 0.15
+
+    def test_contains_helper(self):
+        interval = HurstInterval(0.8, 0.7, 0.9, 0.9, "wavelet", 32)
+        assert interval.contains(0.75)
+        assert not interval.contains(0.65)
+
+    def test_level_passed_through(self, path):
+        interval = hurst_confidence_interval(
+            path, "aggregated_variance", level=0.5, n_resamples=16, rng=3
+        )
+        assert interval.level == 0.5
+
+    def test_deterministic_given_seed(self, path):
+        a = hurst_confidence_interval(
+            path, "aggregated_variance", n_resamples=12, rng=9
+        )
+        b = hurst_confidence_interval(
+            path, "aggregated_variance", n_resamples=12, rng=9
+        )
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(Exception):
+            hurst_confidence_interval(rng.normal(size=32), n_resamples=8)
+
+    def test_kwargs_forwarded(self, path):
+        interval = hurst_confidence_interval(
+            path, "wavelet", n_resamples=10, rng=4, wavelet="db1", j1=2
+        )
+        assert interval.method == "wavelet"

@@ -1,0 +1,134 @@
+"""Tests for the Hurst estimators against exact fGn with known H."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError, ParameterError
+from repro.hurst import (
+    aggregated_variance_hurst,
+    available_methods,
+    beta_from_hurst,
+    dfa_hurst,
+    estimate_all,
+    estimate_hurst,
+    fgn_whittle_hurst,
+    hurst_from_beta,
+    local_whittle_hurst,
+    periodogram_hurst,
+    rs_hurst,
+    wavelet_hurst,
+)
+from repro.hurst.base import HurstEstimate
+from repro.traffic.fgn import fgn_davies_harte
+
+N = 1 << 15
+
+
+@pytest.fixture(scope="module")
+def fgn_paths():
+    """One fGn path per target H, shared across estimator tests."""
+    return {
+        h: fgn_davies_harte(N, h, seed)
+        for seed, h in enumerate([0.6, 0.75, 0.9], start=11)
+    }
+
+
+ESTIMATORS = {
+    "aggregated_variance": (aggregated_variance_hurst, 0.10),
+    "rs": (rs_hurst, 0.12),
+    "periodogram": (periodogram_hurst, 0.08),
+    "local_whittle": (local_whittle_hurst, 0.06),
+    "fgn_whittle": (fgn_whittle_hurst, 0.05),
+    "dfa": (dfa_hurst, 0.10),
+    "wavelet": (wavelet_hurst, 0.05),
+}
+
+
+class TestAccuracyOnKnownH:
+    @pytest.mark.parametrize("name", sorted(ESTIMATORS))
+    @pytest.mark.parametrize("target", [0.6, 0.75, 0.9])
+    def test_recovers_h(self, fgn_paths, name, target):
+        estimator, tolerance = ESTIMATORS[name]
+        estimate = estimator(fgn_paths[target])
+        assert estimate.hurst == pytest.approx(target, abs=tolerance), name
+
+    @pytest.mark.parametrize("name", sorted(ESTIMATORS))
+    def test_white_noise_near_half(self, name, rng):
+        estimator, __ = ESTIMATORS[name]
+        estimate = estimator(rng.normal(size=N))
+        assert estimate.hurst == pytest.approx(0.5, abs=0.08), name
+
+    @pytest.mark.parametrize("name", sorted(ESTIMATORS))
+    def test_result_type_and_method_name(self, fgn_paths, name):
+        estimator, __ = ESTIMATORS[name]
+        estimate = estimator(fgn_paths[0.75])
+        assert isinstance(estimate, HurstEstimate)
+        assert estimate.method
+        assert 0.0 < estimate.hurst < 1.0
+
+
+class TestLrdDetection:
+    def test_lrd_flagged(self, fgn_paths):
+        assert wavelet_hurst(fgn_paths[0.9]).is_lrd
+
+    def test_white_noise_not_flagged(self, rng):
+        estimate = wavelet_hurst(rng.normal(size=N))
+        assert not estimate.is_lrd
+
+
+class TestBetaMaps:
+    def test_round_trip(self):
+        assert hurst_from_beta(beta_from_hurst(0.7)) == pytest.approx(0.7)
+
+    def test_paper_values(self):
+        """H = 0.62 (Bell Labs) <-> beta = 0.76."""
+        assert beta_from_hurst(0.62) == pytest.approx(0.76)
+        assert hurst_from_beta(0.4) == pytest.approx(0.8)
+
+    def test_domains(self):
+        with pytest.raises(ParameterError):
+            beta_from_hurst(1.0)
+        with pytest.raises(ParameterError):
+            hurst_from_beta(2.0)
+
+    def test_estimate_exposes_beta(self, fgn_paths):
+        estimate = wavelet_hurst(fgn_paths[0.75])
+        assert estimate.beta == pytest.approx(2 - 2 * estimate.hurst)
+
+
+class TestRegistry:
+    def test_available_methods_complete(self):
+        assert set(available_methods()) == set(ESTIMATORS)
+
+    def test_dispatch(self, fgn_paths):
+        direct = wavelet_hurst(fgn_paths[0.75])
+        via_registry = estimate_hurst(fgn_paths[0.75], "wavelet")
+        assert via_registry.hurst == pytest.approx(direct.hurst)
+
+    def test_unknown_method(self, fgn_paths):
+        with pytest.raises(ParameterError, match="unknown Hurst method"):
+            estimate_hurst(fgn_paths[0.75], "tea-leaves")
+
+    def test_estimate_all(self, fgn_paths):
+        results = estimate_all(fgn_paths[0.75], methods=["rs", "dfa"])
+        assert set(results) == {"rs", "dfa"}
+
+    def test_kwargs_forwarded(self, fgn_paths):
+        estimate = estimate_hurst(fgn_paths[0.75], "wavelet", wavelet="db1")
+        assert estimate.details["wavelet"] == "db1"
+
+
+class TestShortSeriesBehaviour:
+    def test_aggvar_short_series_rejected(self):
+        with pytest.raises((EstimationError, ParameterError)):
+            aggregated_variance_hurst(np.arange(16.0))
+
+    def test_rs_short_series_rejected(self):
+        with pytest.raises((EstimationError, ParameterError)):
+            rs_hurst(np.arange(32.0))
+
+    def test_constant_series_rejected(self):
+        with pytest.raises((EstimationError, ParameterError)):
+            aggregated_variance_hurst(np.ones(4096))

@@ -1,0 +1,150 @@
+"""Tests for the DWT machinery behind the wavelet Hurst estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimationError, ParameterError
+from repro.hurst.wavelet import (
+    DAUBECHIES_FILTERS,
+    dwt,
+    idwt_haar,
+    logscale_diagram,
+    wavelet_filters,
+    wavelet_hurst,
+)
+from repro.traffic.fgn import fgn_davies_harte
+
+
+class TestFilters:
+    @pytest.mark.parametrize("name", sorted(DAUBECHIES_FILTERS))
+    def test_scaling_filter_unit_norm(self, name):
+        h, __ = wavelet_filters(name)
+        assert np.dot(h, h) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(DAUBECHIES_FILTERS))
+    def test_scaling_filter_sum(self, name):
+        """Sum of an orthonormal scaling filter is sqrt(2)."""
+        h, __ = wavelet_filters(name)
+        assert h.sum() == pytest.approx(np.sqrt(2.0))
+
+    @pytest.mark.parametrize("name", sorted(DAUBECHIES_FILTERS))
+    def test_wavelet_filter_zero_mean(self, name):
+        # Tolerance reflects the precision of the hard-coded coefficients.
+        __, g = wavelet_filters(name)
+        assert g.sum() == pytest.approx(0.0, abs=1e-10)
+
+    @pytest.mark.parametrize("name", sorted(DAUBECHIES_FILTERS))
+    def test_filters_orthogonal(self, name):
+        h, g = wavelet_filters(name)
+        assert np.dot(h, g) == pytest.approx(0.0, abs=1e-10)
+
+    def test_db2_vanishing_moment(self):
+        """db2 kills linear trends: sum k*g[k] = 0."""
+        __, g = wavelet_filters("db2")
+        assert np.dot(np.arange(g.size), g) == pytest.approx(0.0, abs=1e-10)
+
+    def test_unknown_wavelet(self):
+        with pytest.raises(ParameterError, match="unknown wavelet"):
+            wavelet_filters("sym4")
+
+
+class TestDwt:
+    def test_coefficient_counts_halve(self, rng):
+        x = rng.normal(size=256)
+        details, approx = dwt(x, "db1")
+        sizes = [d.size for d in details]
+        assert sizes[0] == 128
+        assert all(a == 2 * b for a, b in zip(sizes, sizes[1:]))
+        assert approx.size == sizes[-1]
+
+    def test_energy_conservation_haar(self, rng):
+        """Orthonormal periodic DWT preserves total energy."""
+        x = rng.normal(size=512)
+        details, approx = dwt(x, "db1")
+        total = sum(float(np.dot(d, d)) for d in details) + float(
+            np.dot(approx, approx)
+        )
+        assert total == pytest.approx(float(np.dot(x, x)), rel=1e-10)
+
+    @pytest.mark.parametrize("name", ["db2", "db3", "db4"])
+    def test_energy_conservation_other_filters(self, rng, name):
+        x = rng.normal(size=512)
+        details, approx = dwt(x, name)
+        total = sum(float(np.dot(d, d)) for d in details) + float(
+            np.dot(approx, approx)
+        )
+        assert total == pytest.approx(float(np.dot(x, x)), rel=1e-10)
+
+    def test_constant_series_has_zero_details(self):
+        details, approx = dwt(np.full(128, 5.0), "db1")
+        for d in details:
+            np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_max_level_respected(self, rng):
+        details, __ = dwt(rng.normal(size=256), "db1", max_level=3)
+        assert len(details) == 3
+
+    def test_too_short_rejected(self):
+        with pytest.raises((EstimationError, ParameterError)):
+            dwt(np.array([1.0]), "db3")
+
+    @given(st.integers(4, 9))
+    @settings(max_examples=8, deadline=None)
+    def test_haar_perfect_reconstruction(self, log2n):
+        """Property: idwt(dwt(x)) == x for the Haar pyramid, any dyadic n."""
+        n = 1 << log2n
+        x = np.random.default_rng(log2n).normal(size=n)
+        details, approx = dwt(x, "db1")
+        np.testing.assert_allclose(idwt_haar(details, approx), x, atol=1e-10)
+
+
+class TestLogscaleDiagram:
+    def test_white_noise_flat(self, rng):
+        diagram = logscale_diagram(rng.normal(size=1 << 14), "db2")
+        fit = diagram.fit(j1=1)
+        assert fit.slope == pytest.approx(0.0, abs=0.12)
+
+    def test_fgn_slope_is_2h_minus_1(self):
+        h = 0.8
+        x = fgn_davies_harte(1 << 16, h, 3)
+        diagram = logscale_diagram(x, "db3")
+        fit = diagram.fit(j1=2)
+        assert fit.slope == pytest.approx(2 * h - 1, abs=0.12)
+
+    def test_octave_range_too_narrow(self, rng):
+        diagram = logscale_diagram(rng.normal(size=1024), "db1")
+        with pytest.raises(EstimationError):
+            diagram.fit(j1=len(diagram.octaves) + 5)
+
+    def test_counts_match_details(self, rng):
+        x = rng.normal(size=1024)
+        trimmed = logscale_diagram(x, "db1")
+        full = logscale_diagram(x, "db1", trim_boundary=False)
+        # db1 (length 2) wraps exactly one coefficient per octave.
+        assert full.n_coefficients[0] == 512
+        assert trimmed.n_coefficients[0] == 511
+
+
+class TestWaveletHurst:
+    @pytest.mark.parametrize("wavelet", ["db1", "db2", "db3", "db4"])
+    def test_all_filters_recover_h(self, wavelet):
+        x = fgn_davies_harte(1 << 15, 0.8, 21)
+        estimate = wavelet_hurst(x, wavelet=wavelet)
+        assert estimate.hurst == pytest.approx(0.8, abs=0.08)
+
+    def test_db3_robust_to_linear_trend(self):
+        """Vanishing moments remove polynomial trends that wreck db1."""
+        x = fgn_davies_harte(1 << 15, 0.7, 5)
+        trend = np.linspace(0, 50.0, x.size)
+        contaminated = wavelet_hurst(x + trend, wavelet="db3")
+        assert contaminated.hurst == pytest.approx(0.7, abs=0.1)
+
+    def test_octave_selection_in_details(self):
+        x = fgn_davies_harte(4096, 0.7, 5)
+        estimate = wavelet_hurst(x, j1=3, j2=6)
+        assert estimate.details["j1"] == 3
+        assert estimate.details["j2"] == 6

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise realistic multi-module pipelines rather than single units:
+packets -> trace files -> flow tables -> binning -> sampling -> metrics
+-> Hurst estimation -> burst analysis -> queueing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.bursts import analyze_bursts
+from repro.core import (
+    BiasedSystematicSampler,
+    CountSystematicSampler,
+    OnlineBSS,
+    SimpleRandomSampler,
+    StratifiedSampler,
+    SystematicSampler,
+    apply_sampler,
+)
+from repro.core.metrics import summarize
+from repro.hurst import estimate_hurst, hurst_confidence_interval
+from repro.queueing import simulate_queue, utilisation_for_load
+from repro.traffic import BellLabsLikeTrace
+
+
+@pytest.fixture(scope="module")
+def capture():
+    """A Bell-Labs-like packet capture shared across the pipeline tests."""
+    generator = BellLabsLikeTrace(n_hosts=16, n_pairs=30, bin_width=0.1)
+    return generator.packets(2048, rng=55)
+
+
+class TestPacketToProcessPipeline:
+    def test_capture_has_many_flows(self, capture):
+        table = repro.FlowTable(capture)
+        assert len(table) == 30
+
+    def test_file_round_trip_preserves_flow_stats(self, capture, tmp_path):
+        path = tmp_path / "capture.rpt"
+        repro.write_trace(capture, path)
+        back = repro.read_trace(path)
+        original = repro.FlowTable(capture)
+        restored = repro.FlowTable(back)
+        assert len(original) == len(restored)
+        for pair in original.pairs:
+            assert original[pair].bytes == restored[pair].bytes
+
+    def test_od_binning_conserves_bytes(self, capture):
+        table = repro.FlowTable(capture)
+        top = [f.od_pair for f in table.top_flows(3)]
+        process = repro.bin_od_flow(capture, top, 0.1, t0=0.0, n_bins=2048)
+        expected = sum(table[p].bytes for p in top)
+        assert process.values.sum() == pytest.approx(expected)
+
+    def test_aggregation_preserves_mean(self, capture):
+        process = repro.bin_bytes(capture, 0.1, t0=0.0, n_bins=2048)
+        assert process.aggregate(8).mean == pytest.approx(process.mean)
+
+
+class TestSamplingOnBinnedTraffic:
+    @pytest.fixture(scope="class")
+    def process(self, capture):
+        return repro.bin_bytes(capture, 0.1, t0=0.0, n_bins=2048)
+
+    def test_all_samplers_run_on_binned_traffic(self, process):
+        samplers = [
+            SystematicSampler(interval=16),
+            StratifiedSampler(interval=16),
+            SimpleRandomSampler(rate=1 / 16),
+            BiasedSystematicSampler(interval=16, extra_samples=4),
+        ]
+        for sampler in samplers:
+            result = sampler.sample(process, rng=1)
+            assert result.n_samples > 0
+            assert np.isfinite(result.sampled_mean)
+
+    def test_metrics_summary_pipeline(self, process):
+        result = SystematicSampler(interval=32).sample(process)
+        summary = summarize(result, process.mean)
+        assert summary["rate"] == pytest.approx(1 / 32, rel=0.05)
+        assert summary["overhead"] == 0.0
+
+    def test_online_bss_streaming_over_binned(self, process):
+        online = OnlineBSS(32, 4, epsilon=1.0, n_presamples=3)
+        kept = online.process(process.values)
+        result = online.result()
+        assert kept == result.n_samples
+        offline = BiasedSystematicSampler(
+            interval=32, extra_samples=4, n_presamples=3
+        ).sample(process)
+        np.testing.assert_array_equal(result.indices, offline.indices)
+
+
+class TestPacketLevelSampling:
+    def test_count_systematic_rate(self, capture):
+        sampled = apply_sampler(CountSystematicSampler(100), capture)
+        assert len(sampled) == pytest.approx(len(capture) / 100, abs=1)
+
+    def test_sampled_subtrace_flows_subset(self, capture):
+        sampled = apply_sampler(CountSystematicSampler(50), capture)
+        original_pairs = set(repro.FlowTable(capture).pairs)
+        sampled_pairs = set(repro.FlowTable(sampled).pairs)
+        assert sampled_pairs <= original_pairs
+
+
+class TestAnalysisOnGeneratedTraffic:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return repro.synthetic_trace(1 << 16, rng=99, alpha=1.5, hurst=0.8)
+
+    def test_burst_analysis_feeds_bss_design(self, trace):
+        """Sec. V-B observation -> Sec. V-C design, end to end."""
+        analysis = analyze_bursts(trace.values, epsilon=1.0)
+        assert analysis.alpha > 0.8  # heavy-ish: BSS's premise holds
+        bss = BiasedSystematicSampler.design(
+            1e-3, alpha=1.5, cs=0.5, total_points=len(trace)
+        )
+        result = bss.sample(trace, rng=1)
+        assert result.n_samples >= result.n_base
+
+    def test_hurst_ci_on_sampled_process(self, trace):
+        result = SystematicSampler(interval=8).sample(trace)
+        clipped = np.minimum(
+            result.values, np.quantile(result.values, 0.999)
+        )
+        interval = hurst_confidence_interval(
+            clipped, "aggregated_variance", n_resamples=12, rng=3
+        )
+        assert 0.4 < interval.point < 1.0
+
+    def test_sampled_process_keeps_hurst(self, trace):
+        """T1's claim on actual data: systematic sampling preserves H."""
+        clipped_full = np.minimum(
+            trace.values, np.quantile(trace.values, 0.999)
+        )
+        full = estimate_hurst(clipped_full, "aggregated_variance").hurst
+        result = SystematicSampler(interval=4).sample(trace)
+        clipped = np.minimum(result.values, np.quantile(result.values, 0.999))
+        sampled = estimate_hurst(clipped, "aggregated_variance").hurst
+        assert sampled == pytest.approx(full, abs=0.15)
+
+
+class TestQueueingOnGeneratedTraffic:
+    def test_provisioning_pipeline(self):
+        """Generate -> estimate H -> provision -> simulate -> verify."""
+        trace = repro.onoff_trace(1 << 15, rng=5, hurst=0.8, n_sources=32)
+        capacity = utilisation_for_load(trace.mean, 0.7)
+        stats = simulate_queue(trace.values, capacity)
+        assert stats.utilisation == pytest.approx(0.7, abs=0.05)
+        assert stats.mean_queue > 0
+
+    def test_lrd_fills_queue_more_than_reshuffled(self):
+        """Destroying the correlation structure (shuffling) empties the
+        queue at identical marginal and load — LRD itself is the cost."""
+        trace = repro.onoff_trace(1 << 15, rng=6, hurst=0.85, n_sources=32)
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(trace.values)
+        capacity = utilisation_for_load(trace.mean, 0.8)
+        lrd_stats = simulate_queue(trace.values, capacity)
+        iid_stats = simulate_queue(shuffled, capacity)
+        assert lrd_stats.mean_queue > 2 * iid_stats.mean_queue

@@ -1,0 +1,188 @@
+"""Hypothesis property tests on cross-cutting invariants.
+
+Each property here encodes a structural fact the rest of the library
+relies on, checked over randomly generated configurations rather than
+hand-picked cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BiasedSystematicSampler,
+    IntervalDistribution,
+    SimpleRandomSampler,
+    StratifiedSampler,
+    SystematicSampler,
+)
+from repro.core.metrics import efficiency, eta
+from repro.core.parameters import overhead_ratio, threshold_ratio, xi_bias
+from repro.traffic.distributions import Pareto
+from repro.trace.process import RateProcess
+
+SERIES = np.abs(np.random.default_rng(13).standard_cauchy(2048)) + 0.5
+
+
+def _series(n: int) -> np.ndarray:
+    return SERIES[:n]
+
+
+class TestSamplerInvariants:
+    @given(st.integers(1, 64), st.integers(0, 63), st.integers(128, 2048))
+    @settings(max_examples=40, deadline=None)
+    def test_systematic_indices_on_grid(self, interval, offset, n):
+        offset = offset % interval
+        result = SystematicSampler(interval=min(interval, n), offset=offset % min(interval, n)).sample(_series(n))
+        c = min(interval, n)
+        assert np.all((result.indices - result.indices[0]) % c == 0)
+        assert result.n_samples == len(range(result.indices[0], n, c))
+
+    @given(st.integers(2, 64), st.integers(128, 2048), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_stratified_one_per_stratum(self, interval, n, seed):
+        result = StratifiedSampler(interval=interval).sample(_series(n), seed)
+        strata = result.indices // interval
+        assert np.unique(strata).size == strata.size
+
+    @given(st.floats(0.01, 0.5), st.integers(128, 2048), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_simple_random_exact_count(self, rate, n, seed):
+        result = SimpleRandomSampler(rate=rate).sample(_series(n), seed)
+        assert result.n_samples == max(int(round(rate * n)), 1)
+        assert np.unique(result.indices).size == result.n_samples
+
+    @given(st.integers(2, 64), st.integers(0, 12), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_bss_superset_of_systematic(self, interval, extras, seed):
+        n = 2048
+        bss = BiasedSystematicSampler(
+            interval=interval, extra_samples=extras, n_presamples=2
+        ).sample(_series(n), seed)
+        grid = np.arange(0, n, interval)
+        assert np.isin(grid, bss.indices).all()
+        assert bss.n_base == grid.size
+
+    @given(st.integers(2, 64), st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_bss_fixed_threshold_mean_at_least_systematic(self, interval, extras):
+        """With a fixed threshold at or above the systematic sample mean,
+        every qualified extra exceeds that mean, so the combined estimate
+        can only move upward.  (With the *online* threshold this is not an
+        invariant: early extras may sit below the final mean.)"""
+        n = 2048
+        series = _series(n)
+        sys_result = SystematicSampler(interval=interval).sample(series)
+        threshold = max(sys_result.sampled_mean, float(series.mean()))
+        bss_mean = BiasedSystematicSampler(
+            interval=interval, extra_samples=extras, threshold=threshold
+        ).sample(series).sampled_mean
+        assert bss_mean >= sys_result.sampled_mean - 1e-9
+
+    @given(st.integers(1, 32), st.integers(128, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_mean_within_series_range(self, interval, n):
+        series = _series(n)
+        result = SystematicSampler(interval=min(interval, n)).sample(series)
+        assert series.min() - 1e-12 <= result.sampled_mean <= series.max() + 1e-12
+
+
+class TestRenewalInvariants:
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_stratified_gap_mean_is_interval(self, interval):
+        dist = IntervalDistribution.stratified(interval)
+        assert dist.mean == pytest.approx(interval, rel=1e-9)
+
+    @given(st.integers(1, 16), st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_convolution_mass_and_mean(self, interval, tau):
+        dist = IntervalDistribution.stratified(interval)
+        k = dist.convolution_power(tau)
+        assert k.sum() == pytest.approx(1.0, abs=1e-8)
+        mean = float(np.dot(np.arange(k.size), k))
+        assert mean == pytest.approx(tau * dist.mean, rel=1e-6)
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_geometric_rate_round_trip(self, rate):
+        dist = IntervalDistribution.geometric(rate)
+        assert dist.implied_rate == pytest.approx(rate, rel=5e-3)
+
+
+class TestDesignTheoryInvariants:
+    @given(st.floats(0.4, 3.0), st.floats(1.05, 1.95))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_ratio_monotone(self, eps, alpha):
+        assert threshold_ratio(eps * 1.1, alpha) > threshold_ratio(eps, alpha)
+
+    @given(st.integers(0, 30), st.floats(0.4, 3.0), st.floats(1.05, 1.95))
+    @settings(max_examples=50, deadline=None)
+    def test_xi_between_baseline_and_m(self, L, eps, alpha):
+        """xi is a convex mix of the baseline (1) and the qualified mean
+        ratio m, so it must stay inside [min(1, m), max(1, m)]."""
+        m = threshold_ratio(eps, alpha)
+        xi = xi_bias(L, eps, alpha)
+        assert min(1.0, m) - 1e-9 <= xi <= max(1.0, m) + 1e-9
+
+    @given(st.integers(1, 30), st.floats(0.5, 3.0), st.floats(1.05, 1.95))
+    @settings(max_examples=40, deadline=None)
+    def test_overhead_linear_in_l(self, L, eps, alpha):
+        assert overhead_ratio(2 * L, eps, alpha) == pytest.approx(
+            2 * overhead_ratio(L, eps, alpha), rel=1e-9
+        )
+
+
+class TestMetricInvariants:
+    @given(st.floats(0.1, 100.0), st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_eta_affine(self, sampled, true):
+        """eta(s, t) = 1 - s/t exactly."""
+        assert eta(sampled, true) == pytest.approx(1 - sampled / true)
+
+    @given(st.floats(-0.5, 0.9), st.integers(2, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_efficiency_monotone_in_eta(self, eta_value, n_total):
+        better = efficiency(eta_value, n_total)
+        worse = efficiency(min(eta_value + 0.05, 0.95), n_total)
+        assert better >= worse
+
+
+class TestDistributionInvariants:
+    @given(st.floats(1.05, 1.95), st.floats(0.1, 50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_mean_above_scales_linearly(self, alpha, scale):
+        p = Pareto(scale=scale, alpha=alpha)
+        t = 3.0 * scale
+        assert p.mean_above(2 * t) == pytest.approx(2 * p.mean_above(t))
+
+    @given(st.floats(1.05, 1.95), st.floats(1.5, 20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_total_expectation_property(self, alpha, t_factor):
+        p = Pareto(scale=1.0, alpha=alpha)
+        t = t_factor
+        tail = float(p.ccdf(t))
+        total = tail * p.mean_above(t) + (1 - tail) * p.mean_below(t)
+        assert total == pytest.approx(p.mean, rel=1e-6)
+
+
+class TestRateProcessInvariants:
+    @given(st.integers(1, 16), st.integers(32, 512))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_mean_invariant(self, m, n):
+        usable = (n // m) * m
+        if usable == 0:
+            return
+        process = RateProcess(values=_series(n)[:usable])
+        assert process.aggregate(m).mean == pytest.approx(process.mean)
+
+    @given(st.integers(2, 16), st.integers(64, 512))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_reduces_variance_for_any_series(self, m, n):
+        """Block averaging never increases the variance."""
+        usable = (n // m) * m
+        process = RateProcess(values=_series(n)[:usable])
+        assert process.aggregate(m).variance <= process.variance + 1e-12

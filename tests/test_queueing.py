@@ -1,0 +1,157 @@
+"""Tests for the queueing extension (Norros formula + simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.queueing import (
+    kappa,
+    overflow_probability,
+    queue_occupancy,
+    required_buffer,
+    required_capacity,
+    simulate_queue,
+    tail_probabilities,
+    utilisation_for_load,
+)
+from repro.traffic.fgn import fgn_davies_harte
+
+
+class TestKappa:
+    def test_symmetric_maximum_at_half(self):
+        assert kappa(0.5) == pytest.approx(0.5)
+        assert kappa(0.3) == pytest.approx(kappa(0.7))
+
+    def test_domain(self):
+        with pytest.raises(ParameterError):
+            kappa(1.0)
+
+
+class TestOverflowProbability:
+    def test_decreasing_in_buffer(self):
+        p = overflow_probability([1.0, 10.0, 100.0], 2.0, 1.0, 0.8)
+        assert np.all(np.diff(p) < 0)
+
+    def test_lrd_tail_heavier(self):
+        """For large buffers, H = 0.9 traffic overflows far more than 0.5."""
+        b = 50.0
+        p_srd = overflow_probability([b], 2.0, 1.0, 0.5)[0]
+        p_lrd = overflow_probability([b], 2.0, 1.0, 0.9)[0]
+        assert p_lrd > 100 * p_srd
+
+    def test_h_half_is_exponential(self):
+        """At H = 1/2 the exponent is linear in the buffer size."""
+        p = overflow_probability([1.0, 2.0, 3.0], 2.0, 1.0, 0.5)
+        logs = np.log(p)
+        np.testing.assert_allclose(np.diff(logs, 2), 0.0, atol=1e-9)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(ParameterError, match="stability"):
+            overflow_probability([1.0], 1.0, 2.0, 0.8)
+
+    def test_zero_buffer_certain_overflow(self):
+        p = overflow_probability([0.0], 2.0, 1.0, 0.8)
+        assert p[0] == pytest.approx(1.0)
+
+
+class TestInversions:
+    def test_required_buffer_round_trip(self):
+        b = required_buffer(1e-3, 2.0, 1.0, 0.8)
+        p = overflow_probability([b], 2.0, 1.0, 0.8)[0]
+        assert p == pytest.approx(1e-3, rel=1e-6)
+
+    def test_required_capacity_round_trip(self):
+        c = required_capacity(1e-3, 10.0, 1.0, 0.8)
+        p = overflow_probability([10.0], c, 1.0, 0.8)[0]
+        assert p == pytest.approx(1e-3, rel=1e-6)
+
+    def test_higher_h_needs_more_capacity(self):
+        """Under-estimating H under-provisions the link — the operational
+        cost of a bad Hurst measurement."""
+        c_srd = required_capacity(1e-4, 10.0, 1.0, 0.55)
+        c_lrd = required_capacity(1e-4, 10.0, 1.0, 0.85)
+        assert c_lrd > c_srd
+
+    def test_domains(self):
+        with pytest.raises(ParameterError):
+            required_buffer(1.5, 2.0, 1.0, 0.8)
+        with pytest.raises(ParameterError):
+            required_capacity(0.0, 10.0, 1.0, 0.8)
+
+
+class TestQueueOccupancy:
+    def test_lindley_by_hand(self):
+        arrivals = np.array([3.0, 0.0, 5.0, 0.0])
+        occupancy = queue_occupancy(arrivals, 2.0)
+        # Q: max(0+3-2,0)=1; max(1+0-2,0)=0; max(0+5-2,0)=3; max(3+0-2,0)=1.
+        np.testing.assert_allclose(occupancy, [1.0, 0.0, 3.0, 1.0])
+
+    def test_matches_explicit_loop(self, rng):
+        arrivals = rng.exponential(1.0, size=500)
+        occupancy = queue_occupancy(arrivals, 1.2)
+        q = 0.0
+        expected = []
+        for a in arrivals:
+            q = max(q + a - 1.2, 0.0)
+            expected.append(q)
+        np.testing.assert_allclose(occupancy, expected, atol=1e-9)
+
+    def test_initial_backlog_drains(self):
+        occupancy = queue_occupancy(np.zeros(10), 1.0, initial=5.0)
+        np.testing.assert_allclose(occupancy[:5], [4, 3, 2, 1, 0])
+        np.testing.assert_allclose(occupancy[5:], 0.0)
+
+    def test_never_negative(self, rng):
+        occupancy = queue_occupancy(rng.exponential(1.0, 1000), 5.0)
+        assert occupancy.min() >= 0
+
+    def test_invalid_initial(self):
+        with pytest.raises(ParameterError):
+            queue_occupancy(np.ones(4), 1.0, initial=-1.0)
+
+
+class TestSimulateQueue:
+    def test_stats_consistency(self, rng):
+        arrivals = rng.exponential(1.0, 10_000)
+        stats = simulate_queue(arrivals, 1.5)
+        assert 0 < stats.utilisation < 1
+        assert stats.mean_queue <= stats.p99_queue <= stats.max_queue
+
+    def test_lrd_queue_worse_than_srd(self, rng_factory):
+        """Same marginal, same load: the H = 0.9 queue is much fuller —
+        the operational fact the paper's Hurst focus is about."""
+        mean, capacity = 5.0, 6.0
+        srd = mean + fgn_davies_harte(1 << 16, 0.5, rng_factory(1))
+        lrd = mean + fgn_davies_harte(1 << 16, 0.9, rng_factory(2))
+        q_srd = simulate_queue(np.maximum(srd, 0.0), capacity)
+        q_lrd = simulate_queue(np.maximum(lrd, 0.0), capacity)
+        assert q_lrd.mean_queue > 3 * q_srd.mean_queue
+
+    def test_norros_shape_agreement(self, rng):
+        """Empirical log-tail of an fGn-fed queue is concave-ish like the
+        Weibull tail Norros predicts; check tail ordering at two buffers."""
+        mean, capacity, h = 5.0, 6.0, 0.8
+        arrivals = np.maximum(mean + fgn_davies_harte(1 << 17, h, rng), 0.0)
+        occupancy = queue_occupancy(arrivals, capacity)
+        thresholds = np.array([1.0, 4.0])
+        empirical = tail_probabilities(occupancy, thresholds)
+        predicted = overflow_probability(thresholds, capacity, mean, h)
+        # Both must decrease, and the empirical decay should be in the same
+        # ballpark (within a decade) as the prediction at the larger buffer.
+        assert empirical[1] < empirical[0]
+        assert abs(np.log10(empirical[1] + 1e-6) - np.log10(predicted[1])) < 1.5
+
+
+class TestHelpers:
+    def test_tail_probabilities(self):
+        occupancy = np.array([0.0, 1.0, 2.0, 3.0])
+        np.testing.assert_allclose(
+            tail_probabilities(occupancy, [0.5, 2.5]), [0.75, 0.25]
+        )
+
+    def test_utilisation_for_load(self):
+        assert utilisation_for_load(5.0, 0.8) == pytest.approx(6.25)
+        with pytest.raises(ParameterError):
+            utilisation_for_load(5.0, 1.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.trace.flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.trace.flows import FlowTable, aggregate_flows, od_flow_trace
+from repro.trace.packet import PacketTrace
+
+
+def sample_trace() -> PacketTrace:
+    return PacketTrace(
+        timestamps=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        sources=[1, 1, 2, 1, 2, 3],
+        destinations=[2, 2, 3, 2, 3, 1],
+        sizes=[100, 200, 300, 400, 500, 600],
+    )
+
+
+class TestFlowTable:
+    def test_flow_count(self):
+        table = FlowTable(sample_trace())
+        assert len(table) == 3
+
+    def test_membership(self):
+        table = FlowTable(sample_trace())
+        assert (1, 2) in table
+        assert (9, 9) not in table
+
+    def test_per_flow_stats(self):
+        table = FlowTable(sample_trace())
+        flow = table[(1, 2)]
+        assert flow.packets == 3
+        assert flow.bytes == 700
+        assert flow.first_seen == pytest.approx(0.0)
+        assert flow.last_seen == pytest.approx(3.0)
+        assert flow.duration == pytest.approx(3.0)
+        assert flow.mean_rate == pytest.approx(700 / 3.0)
+
+    def test_instantaneous_flow_rate_zero(self):
+        table = FlowTable(sample_trace())
+        assert table[(3, 1)].mean_rate == 0.0
+
+    def test_top_flows_by_bytes(self):
+        table = FlowTable(sample_trace())
+        top = table.top_flows(2)
+        assert top[0].od_pair == (2, 3)  # 800 bytes
+        assert top[1].od_pair == (1, 2)  # 700 bytes
+
+    def test_top_flows_by_packets(self):
+        table = FlowTable(sample_trace())
+        top = table.top_flows(1, by="packets")
+        assert top[0].od_pair == (1, 2)
+
+    def test_top_flows_invalid_key(self):
+        with pytest.raises(ParameterError):
+            FlowTable(sample_trace()).top_flows(1, by="rate")
+
+    def test_total_bytes_matches_trace(self):
+        table = FlowTable(sample_trace())
+        assert table.total_bytes() == sample_trace().total_bytes
+
+    def test_pairs_listing(self):
+        table = FlowTable(sample_trace())
+        assert set(table.pairs) == {(1, 2), (2, 3), (3, 1)}
+
+    def test_iteration(self):
+        table = FlowTable(sample_trace())
+        assert sum(f.packets for f in table) == 6
+
+
+class TestOdFlowExtraction:
+    def test_od_flow_trace(self):
+        sub = od_flow_trace(sample_trace(), [(2, 3)])
+        assert len(sub) == 2
+        assert sub.total_bytes == 800
+
+    def test_aggregate_flows_multiple(self):
+        agg = aggregate_flows(sample_trace(), [(1, 2), (3, 1)])
+        assert len(agg) == 4
+        assert agg.total_bytes == 1300
+
+    def test_aggregate_preserves_time_order(self):
+        agg = aggregate_flows(sample_trace(), [(1, 2), (2, 3)])
+        assert list(agg.timestamps) == sorted(agg.timestamps)

@@ -1,0 +1,148 @@
+"""Tests for repro.trace.io: CSV and binary round-trips and error paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.io import (
+    read_binary,
+    read_csv,
+    read_trace,
+    write_binary,
+    write_csv,
+    write_trace,
+)
+from repro.trace.packet import PacketTrace
+
+
+def sample_trace() -> PacketTrace:
+    return PacketTrace(
+        timestamps=[0.0, 0.125, 7.25],
+        sources=[10, 20, 10],
+        destinations=[20, 10, 30],
+        sizes=[40, 1500, 576],
+        protocols=[6, 17, 6],
+    )
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample_trace(), path)
+        back = read_csv(path)
+        assert back == sample_trace()
+
+    def test_header_present(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(sample_trace(), path)
+        assert path.read_text().startswith("# repro-trace v1")
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("1.0,1,2,40,6\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_csv(path)
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# repro-trace v1\n1.0,1,2,40\n")
+        with pytest.raises(TraceFormatError, match="5 fields"):
+            read_csv(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# repro-trace v1\nabc,1,2,40,6\n")
+        with pytest.raises(TraceFormatError):
+            read_csv(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "# repro-trace v1\n\n# a comment\n1.0,1,2,40,6\n"
+        )
+        trace = read_csv(path)
+        assert len(trace) == 1
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(PacketTrace.empty(), path)
+        assert len(read_csv(path)) == 0
+
+
+class TestBinaryRoundTrip:
+    def test_round_trip_exact(self, tmp_path):
+        path = tmp_path / "trace.rpt"
+        write_binary(sample_trace(), path)
+        back = read_binary(path)
+        assert back == sample_trace()
+        np.testing.assert_array_equal(back.timestamps, sample_trace().timestamps)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.rpt"
+        path.write_bytes(b"NOTATRACE")
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_binary(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "trace.rpt"
+        write_binary(sample_trace(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            read_binary(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.rpt"
+        write_binary(PacketTrace.empty(), path)
+        assert len(read_binary(path)) == 0
+
+
+class TestDispatch:
+    def test_csv_extension(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace(sample_trace(), path)
+        assert read_trace(path) == sample_trace()
+
+    def test_rpt_extension(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        write_trace(sample_trace(), path)
+        assert read_trace(path) == sample_trace()
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="extension"):
+            write_trace(sample_trace(), tmp_path / "t.pcap")
+        with pytest.raises(TraceFormatError, match="extension"):
+            read_trace(tmp_path / "t.pcap")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1e6, allow_nan=False),
+            st.integers(0, 2**32 - 1),
+            st.integers(0, 2**32 - 1),
+            st.integers(0, 65535),
+            st.integers(0, 255),
+        ),
+        min_size=0,
+        max_size=40,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_binary_round_trip_property(tmp_path_factory, rows):
+    """Any well-formed trace survives a binary write/read unchanged."""
+    rows.sort(key=lambda r: r[0])
+    trace = PacketTrace(
+        timestamps=[r[0] for r in rows],
+        sources=[r[1] for r in rows],
+        destinations=[r[2] for r in rows],
+        sizes=[r[3] for r in rows],
+        protocols=[r[4] for r in rows],
+    )
+    path = tmp_path_factory.mktemp("prop") / "t.rpt"
+    write_binary(trace, path)
+    assert read_binary(path) == trace

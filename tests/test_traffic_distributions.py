@@ -1,0 +1,193 @@
+"""Tests for repro.traffic.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.traffic.distributions import (
+    Exponential,
+    Pareto,
+    TruncatedPareto,
+    hurst_for_pareto_alpha,
+    pareto_alpha_for_hurst,
+)
+
+
+class TestParetoBasics:
+    def test_ccdf_at_scale_is_one(self):
+        p = Pareto(scale=2.0, alpha=1.5)
+        assert p.ccdf(2.0) == pytest.approx(1.0)
+
+    def test_ccdf_power_law(self):
+        p = Pareto(scale=1.0, alpha=1.5)
+        assert p.ccdf(4.0) == pytest.approx(4.0**-1.5)
+
+    def test_ccdf_below_scale(self):
+        p = Pareto(scale=3.0, alpha=1.2)
+        assert p.ccdf(1.0) == pytest.approx(1.0)
+
+    def test_cdf_complements_ccdf(self):
+        p = Pareto(scale=1.0, alpha=1.7)
+        x = np.array([1.0, 2.0, 10.0, 100.0])
+        np.testing.assert_allclose(p.cdf(x) + p.ccdf(x), 1.0)
+
+    def test_pdf_integrates_to_one(self):
+        p = Pareto(scale=1.0, alpha=1.5)
+        x = np.linspace(1.0, 5000.0, 2_000_001)
+        integral = np.trapezoid(p.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=5e-3)
+
+    def test_ppf_inverts_cdf(self):
+        p = Pareto(scale=2.0, alpha=1.3)
+        q = np.array([0.0, 0.25, 0.5, 0.9, 0.999])
+        np.testing.assert_allclose(p.cdf(p.ppf(q)), q, atol=1e-12)
+
+    def test_ppf_rejects_one(self):
+        p = Pareto(scale=1.0, alpha=1.5)
+        with pytest.raises(ParameterError):
+            p.ppf(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            Pareto(scale=0.0, alpha=1.5)
+        with pytest.raises(ParameterError):
+            Pareto(scale=1.0, alpha=-1.0)
+
+
+class TestParetoMoments:
+    def test_mean_formula(self):
+        p = Pareto(scale=1.0, alpha=1.5)
+        assert p.mean == pytest.approx(3.0)
+
+    def test_mean_infinite_for_alpha_le_1(self):
+        assert math.isinf(Pareto(scale=1.0, alpha=1.0).mean)
+        assert math.isinf(Pareto(scale=1.0, alpha=0.9).mean)
+
+    def test_variance_infinite_in_paper_regime(self):
+        assert math.isinf(Pareto(scale=1.0, alpha=1.5).variance)
+
+    def test_variance_finite_above_two(self):
+        p = Pareto(scale=1.0, alpha=3.0)
+        assert p.variance == pytest.approx(3.0 / (4.0 * 1.0))
+
+    def test_mean_above_threshold(self):
+        """E[X | X > t] = t*alpha/(alpha-1) — the BSS qualified-sample mean."""
+        p = Pareto(scale=1.0, alpha=1.5)
+        assert p.mean_above(10.0) == pytest.approx(30.0)
+
+    def test_mean_above_below_scale_clamps(self):
+        p = Pareto(scale=2.0, alpha=1.5)
+        assert p.mean_above(1.0) == pytest.approx(p.mean)
+
+    def test_mean_below_threshold_monte_carlo(self, rng):
+        p = Pareto(scale=1.0, alpha=1.5)
+        x = p.sample(200_000, rng)
+        t = 5.0
+        empirical = x[x <= t].mean()
+        assert p.mean_below(t) == pytest.approx(empirical, rel=0.02)
+
+    def test_law_of_total_expectation(self):
+        """p*E[X|X>t] + (1-p)*E[X|X<=t] = E[X] — paper Eqs. (24)-(27)."""
+        p = Pareto(scale=1.0, alpha=1.4)
+        t = 7.0
+        tail = p.ccdf(t).item()
+        total = tail * p.mean_above(t) + (1 - tail) * p.mean_below(t)
+        assert total == pytest.approx(p.mean, rel=1e-9)
+
+    def test_from_mean_round_trip(self):
+        p = Pareto.from_mean(5.68, 1.5)
+        assert p.mean == pytest.approx(5.68)
+
+    def test_from_mean_rejects_alpha_le_1(self):
+        with pytest.raises(ParameterError):
+            Pareto.from_mean(5.0, 1.0)
+
+
+class TestParetoSampling:
+    def test_samples_respect_scale(self, rng):
+        p = Pareto(scale=3.0, alpha=1.5)
+        x = p.sample(10_000, rng)
+        assert x.min() >= 3.0
+
+    def test_sample_ccdf_matches(self, rng):
+        p = Pareto(scale=1.0, alpha=1.5)
+        x = p.sample(100_000, rng)
+        assert (x > 10.0).mean() == pytest.approx(p.ccdf(10.0).item(), rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        p = Pareto(scale=1.0, alpha=1.5)
+        np.testing.assert_array_equal(p.sample(10, 5), p.sample(10, 5))
+
+    @given(st.floats(1.1, 1.9), st.floats(0.5, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_sample_min_property(self, alpha, scale):
+        p = Pareto(scale=scale, alpha=alpha)
+        x = p.sample(500, 1)
+        assert x.min() >= scale
+
+
+class TestTruncatedPareto:
+    def test_support(self, rng):
+        t = TruncatedPareto(scale=1.0, alpha=1.5, upper=50.0)
+        x = t.sample(20_000, rng)
+        assert x.min() >= 1.0
+        assert x.max() <= 50.0
+
+    def test_ccdf_boundaries(self):
+        t = TruncatedPareto(scale=1.0, alpha=1.5, upper=50.0)
+        assert t.ccdf(1.0) == pytest.approx(1.0)
+        assert t.ccdf(50.0) == pytest.approx(0.0)
+
+    def test_mean_finite_and_below_pareto(self):
+        t = TruncatedPareto(scale=1.0, alpha=1.5, upper=50.0)
+        p = Pareto(scale=1.0, alpha=1.5)
+        assert t.mean < p.mean
+
+    def test_mean_matches_monte_carlo(self, rng):
+        t = TruncatedPareto(scale=1.0, alpha=1.5, upper=50.0)
+        x = t.sample(200_000, rng)
+        assert x.mean() == pytest.approx(t.mean, rel=0.02)
+
+    def test_invalid_upper(self):
+        with pytest.raises(ParameterError):
+            TruncatedPareto(scale=2.0, alpha=1.5, upper=1.0)
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        e = Exponential(rate=0.5)
+        assert e.mean == pytest.approx(2.0)
+        x = e.sample(100_000, rng)
+        assert x.mean() == pytest.approx(2.0, rel=0.03)
+
+    def test_ccdf(self):
+        e = Exponential(rate=1.0)
+        assert e.ccdf(1.0) == pytest.approx(math.exp(-1.0))
+        assert e.ccdf(-1.0) == pytest.approx(1.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ParameterError):
+            Exponential(rate=0.0)
+
+
+class TestHurstAlphaMap:
+    def test_paper_mapping(self):
+        """H = 0.8 <-> alpha = 1.4, the paper's Section IV configuration."""
+        assert pareto_alpha_for_hurst(0.8) == pytest.approx(1.4)
+        assert hurst_for_pareto_alpha(1.4) == pytest.approx(0.8)
+
+    @given(st.floats(0.51, 0.99))
+    def test_round_trip(self, h):
+        assert hurst_for_pareto_alpha(pareto_alpha_for_hurst(h)) == pytest.approx(h)
+
+    def test_domain_errors(self):
+        with pytest.raises(ParameterError):
+            pareto_alpha_for_hurst(0.5)
+        with pytest.raises(ParameterError):
+            hurst_for_pareto_alpha(2.0)

@@ -1,0 +1,122 @@
+"""Tests for repro.utils.arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.arrays import (
+    as_float_array,
+    block_means,
+    geometric_grid,
+    running_mean,
+    sliding_disjoint_blocks,
+)
+
+
+class TestAsFloatArray:
+    def test_coerces_list(self):
+        out = as_float_array([1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError, match="at least 1"):
+            as_float_array([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError, match="one-dimensional"):
+            as_float_array([[1, 2], [3, 4]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError, match="non-finite"):
+            as_float_array([1.0, np.nan])
+
+    def test_min_length(self):
+        with pytest.raises(ParameterError, match="at least 4"):
+            as_float_array([1, 2, 3], min_length=4)
+
+
+class TestBlockMeans:
+    def test_exact_blocks(self):
+        out = block_means(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        np.testing.assert_array_equal(out, [2.0, 6.0])
+
+    def test_drops_partial_tail(self):
+        out = block_means(np.arange(5, dtype=float), 2)
+        np.testing.assert_array_equal(out, [0.5, 2.5])
+
+    def test_block_one_is_identity(self):
+        x = np.arange(6, dtype=float)
+        np.testing.assert_array_equal(block_means(x, 1), x)
+
+    def test_block_too_large(self):
+        with pytest.raises(ParameterError, match="no complete block"):
+            block_means(np.arange(3, dtype=float), 4)
+
+    def test_invalid_block(self):
+        with pytest.raises(ParameterError):
+            block_means(np.arange(3, dtype=float), 0)
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_mass_conservation_property(self, block, n):
+        """Sum of block means times block size equals sum over used prefix."""
+        x = np.arange(n, dtype=float)
+        usable = (n // block) * block
+        if usable == 0:
+            with pytest.raises(ParameterError):
+                block_means(x, block)
+            return
+        out = block_means(x, block)
+        assert out.size == usable // block
+        np.testing.assert_allclose(out.sum() * block, x[:usable].sum())
+
+
+class TestSlidingDisjointBlocks:
+    def test_shape(self):
+        out = sliding_disjoint_blocks(np.arange(10, dtype=float), 3)
+        assert out.shape == (3, 3)
+
+    def test_row_contents(self):
+        out = sliding_disjoint_blocks(np.arange(6, dtype=float), 2)
+        np.testing.assert_array_equal(out[1], [2.0, 3.0])
+
+
+class TestGeometricGrid:
+    def test_endpoints(self):
+        grid = geometric_grid(1e-5, 1e-1, 5)
+        assert grid[0] == pytest.approx(1e-5)
+        assert grid[-1] == pytest.approx(1e-1)
+
+    def test_log_spacing(self):
+        grid = geometric_grid(1.0, 100.0, 3)
+        np.testing.assert_allclose(grid, [1.0, 10.0, 100.0])
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ParameterError):
+            geometric_grid(0.0, 1.0, 3)
+        with pytest.raises(ParameterError):
+            geometric_grid(2.0, 1.0, 3)
+        with pytest.raises(ParameterError):
+            geometric_grid(1.0, 2.0, 1)
+
+
+class TestRunningMean:
+    def test_values(self):
+        out = running_mean(np.array([2.0, 4.0, 6.0]))
+        np.testing.assert_allclose(out, [2.0, 3.0, 4.0])
+
+    def test_empty(self):
+        assert running_mean(np.array([])).size == 0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_last_equals_mean(self, values):
+        arr = np.asarray(values)
+        out = running_mean(arr)
+        np.testing.assert_allclose(out[-1], arr.mean(), rtol=1e-9, atol=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    choice_without_replacement,
+    normalize_rng,
+    spawn_rngs,
+    split_sequence,
+    stream_for,
+)
+
+
+class TestNormalizeRng:
+    def test_none_gives_generator(self):
+        assert isinstance(normalize_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = normalize_rng(7).random(4)
+        b = normalize_rng(7).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(3)
+        assert normalize_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        out = normalize_rng(seq)
+        assert isinstance(out, np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            normalize_rng("seed")
+
+    def test_different_seeds_differ(self):
+        a = normalize_rng(1).random(8)
+        b = normalize_rng(2).random(8)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].random(16)
+        b = children[1].random(16)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = spawn_rngs(9, 3)[2].random(4)
+        b = spawn_rngs(9, 3)[2].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestStreamFor:
+    def test_same_name_same_stream(self):
+        a = stream_for("fig05", 1).random(4)
+        b = stream_for("fig05", 1).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = stream_for("fig05", 1).random(8)
+        b = stream_for("fig06", 1).random(8)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = stream_for("fig05", 1).random(8)
+        b = stream_for("fig05", 2).random(8)
+        assert not np.allclose(a, b)
+
+
+class TestChoiceWithoutReplacement:
+    def test_sorted_unique(self):
+        gen = np.random.default_rng(0)
+        picked = choice_without_replacement(gen, 100, 20)
+        assert picked.size == 20
+        assert np.all(np.diff(picked) > 0)
+
+    def test_full_population(self):
+        gen = np.random.default_rng(0)
+        picked = choice_without_replacement(gen, 5, 5)
+        np.testing.assert_array_equal(picked, np.arange(5))
+
+    def test_oversample_rejected(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="cannot draw"):
+            choice_without_replacement(gen, 3, 4)
+
+
+class TestSplitSequence:
+    def test_labels_present(self):
+        streams = split_sequence(5, ["a", "b"])
+        assert set(streams) == {"a", "b"}
+
+    def test_streams_independent(self):
+        streams = split_sequence(5, ["a", "b"])
+        assert not np.allclose(streams["a"].random(8), streams["b"].random(8))

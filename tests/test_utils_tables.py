@@ -1,0 +1,46 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert lines[1].split() == ["1", "2"]
+        assert lines[2].split() == ["3", "4"]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123456]])
+        assert "0.0001235" in text or "0.0001234" in text
+
+    def test_alignment(self):
+        text = format_table(["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2])
+
+
+class TestFormatSeriesTable:
+    def test_columns(self):
+        text = format_series_table(
+            "rate", [0.1, 0.2], {"sys": [1.0, 2.0], "bss": [3.0, 4.0]}
+        )
+        header = text.splitlines()[0].split()
+        assert header == ["rate", "sys", "bss"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            format_series_table("x", [1, 2], {"y": [1.0]})
+
+    def test_row_count(self):
+        text = format_series_table("x", [1, 2, 3], {"y": [4, 5, 6]})
+        assert len(text.splitlines()) == 4
