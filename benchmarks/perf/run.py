@@ -1,0 +1,21 @@
+"""Standalone launcher for the perf-regression benchmark suite.
+
+Equivalent to ``python -m repro.experiments bench``; kept here so the
+perf harness lives next to the figure benchmarks.  Usage::
+
+    python benchmarks/perf/run.py [--quick] [--output BENCH_PR1.json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.experiments.bench import main
+except ImportError:  # pragma: no cover - direct invocation without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    from repro.experiments.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

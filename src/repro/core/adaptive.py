@@ -10,6 +10,12 @@ comparison literature: Bernoulli sampling whose probability switches
 between a base and a boosted rate, driven by an EWMA of the observed
 values crossing a relative threshold.  It provides the natural experiment
 "what would the adaptive alternative have cost/measured" next to BSS.
+
+The detector walks only the granules whose pre-drawn coins could possibly
+be sampled (``coins < boosted_rate``) rather than the full series; the
+original every-granule loop survives as
+``AdaptiveRandomSampler._reference_sample`` and a parity test pins the
+two to identical output on the same rng stream.
 """
 
 from __future__ import annotations
@@ -69,6 +75,62 @@ class AdaptiveRandomSampler(Sampler):
         return self.base_rate
 
     def sample(self, process, rng=None) -> SamplingResult:
+        """Draw one adaptive instance, visiting only coin-flip candidates.
+
+        A granule can be sampled only if its coin lands below the boosted
+        rate, so the detector loop walks the ``coins < boosted_rate``
+        candidate set (about ``boosted_rate * n`` positions) instead of
+        every granule; non-candidates can never change the detector state.
+        ``_reference_sample`` keeps the original full-scan loop and a
+        parity test pins the two together on the same rng stream.
+        """
+        values = series_values(process)
+        gen = normalize_rng(rng)
+        n = values.size
+        boosted_rate = min(self.base_rate * self.boost_factor, 1.0)
+
+        coins = gen.random(n)
+        candidates = np.flatnonzero(coins < boosted_rate)
+        indices: list[int] = []
+        n_base_regime = 0
+        ewma = np.nan
+        long_run = np.nan
+        for t in candidates:
+            elevated = (
+                np.isfinite(ewma)
+                and np.isfinite(long_run)
+                and long_run > 0
+                and ewma > self.trigger * long_run
+            )
+            rate = boosted_rate if elevated else self.base_rate
+            if coins[t] < rate:
+                indices.append(int(t))
+                if not elevated:
+                    n_base_regime += 1
+                value = float(values[t])
+                # Detector state updates only on sampled observations.
+                ewma = value if not np.isfinite(ewma) else (
+                    self.ewma_alpha * value + (1 - self.ewma_alpha) * ewma
+                )
+                long_run = value if not np.isfinite(long_run) else (
+                    0.005 * value + 0.995 * long_run
+                )
+        if not indices:
+            indices = [int(gen.integers(0, n))]
+            n_base_regime = 1
+        idx = np.asarray(indices, dtype=np.int64)
+        # n_base counts quiet-regime samples; the boosted-regime surplus is
+        # this sampler's analogue of BSS's qualified-sample overhead.
+        return SamplingResult(
+            indices=idx,
+            values=values[idx],
+            n_population=n,
+            method=self.name,
+            n_base=n_base_regime,
+        )
+
+    def _reference_sample(self, process, rng=None) -> SamplingResult:
+        """Original every-granule loop implementation (kept for parity tests)."""
         values = series_values(process)
         gen = normalize_rng(rng)
         n = values.size
@@ -103,8 +165,6 @@ class AdaptiveRandomSampler(Sampler):
             indices = [int(gen.integers(0, n))]
             n_base_regime = 1
         idx = np.asarray(indices, dtype=np.int64)
-        # n_base counts quiet-regime samples; the boosted-regime surplus is
-        # this sampler's analogue of BSS's qualified-sample overhead.
         return SamplingResult(
             indices=idx,
             values=values[idx],

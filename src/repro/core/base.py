@@ -20,7 +20,17 @@ from repro.utils.validation import require_int_at_least, require_probability
 
 
 def series_values(process) -> np.ndarray:
-    """Accept either a RateProcess-like object or a plain array."""
+    """Accept either a RateProcess-like object or a plain array.
+
+    :class:`~repro.trace.process.RateProcess` validates its values at
+    construction, so its array is returned as-is — re-running the O(n)
+    finiteness scan on every sampling instance would dominate the cost of
+    the vectorized samplers.
+    """
+    from repro.trace.process import RateProcess
+
+    if isinstance(process, RateProcess):
+        return process.values
     values = getattr(process, "values", process)
     return as_float_array(values, name="process")
 

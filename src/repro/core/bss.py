@@ -19,9 +19,12 @@ stays above it — the extras capture exactly the rare large values that
 plain systematic sampling misses and that dominate the heavy-tailed mean.
 
 Two implementations share this logic: :class:`BiasedSystematicSampler`
-(array-based, used by the experiments) and :class:`OnlineBSS` (a per-value
-state machine suitable for streaming deployment).  A test pins them to
-identical output.
+(array-native, used by the experiments: one strided gather for the
+regular stream, cumsum-based running means, and a scalar replay only
+from the first interval that keeps extras onward) and :class:`OnlineBSS`
+(a per-value state machine suitable for streaming deployment).  Tests pin
+both to the original per-granule loop, which survives as
+``BiasedSystematicSampler._reference_sample``.
 
 One deliberate deviation from the paper's wording: extras are spaced
 ``C/(L+1)`` apart (strictly inside the interval) rather than ``C/L``,
@@ -59,6 +62,12 @@ def _extra_offsets(interval: int, extra_samples: int) -> np.ndarray:
     raw = raw[(raw >= 1) & (raw <= interval - 1)]
     return np.unique(raw)
 
+
+#: Shared empty (indices, values) pair for instances with no qualified extras.
+_NO_EXTRAS = (
+    np.empty(0, dtype=np.int64),
+    np.empty(0, dtype=np.float64),
+)
 
 @dataclass(frozen=True)
 class BiasedSystematicSampler(Sampler):
@@ -157,6 +166,185 @@ class BiasedSystematicSampler(Sampler):
 
     # -------------------------------------------------------------- sampling
     def sample(self, process, rng=None) -> SamplingResult:
+        """Draw one BSS instance, array-native.
+
+        The regular-sample stream is extracted with one strided gather and
+        its running statistics with ``np.cumsum``; a Python loop survives
+        only for *triggered* intervals (rare by design — bursts are the
+        exception), and the fixed-``threshold`` path has no loop at all.
+        ``_reference_sample`` keeps the original per-granule loop and the
+        parity tests pin the two together bit-for-bit.
+        """
+        values = series_values(process)
+        n = values.size
+        interval = check_interval(self.interval, n)
+        if self.offset is None:
+            offset = int(normalize_rng(rng).integers(0, interval))
+        else:
+            offset = self.offset
+
+        offsets = _extra_offsets(interval, self.extra_samples)
+        reg_idx = np.arange(offset, n, interval, dtype=np.int64)
+        reg_val = values[reg_idx]
+        m = reg_idx.size
+
+        if not offsets.size:
+            qual_idx, qual_val = _NO_EXTRAS
+        elif self.threshold is not None:
+            qual_idx, qual_val = self._fixed_threshold_extras(
+                values, reg_idx, reg_val, offsets
+            )
+        else:
+            qual_idx, qual_val = self._online_threshold_extras(
+                values, reg_idx, reg_val, offsets
+            )
+
+        all_idx = np.concatenate([reg_idx, qual_idx])
+        all_val = np.concatenate([reg_val, qual_val])
+        order = np.argsort(all_idx, kind="stable")
+        return SamplingResult(
+            indices=all_idx[order],
+            values=all_val[order],
+            n_population=n,
+            method=self.name,
+            n_base=m,
+        )
+
+    def _fixed_threshold_extras(
+        self,
+        values: np.ndarray,
+        reg_idx: np.ndarray,
+        reg_val: np.ndarray,
+        offsets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Qualified extras for a fixed a_th — fully vectorized.
+
+        With a constant threshold each triggered interval is independent:
+        one 2-D index-matrix gather evaluates every candidate extra at
+        once.
+        """
+        threshold = self.threshold
+        if not offsets.size:
+            return _NO_EXTRAS
+        trig_t = reg_idx[reg_val > threshold]
+        if not trig_t.size:
+            return _NO_EXTRAS
+        cand = trig_t[:, None] + offsets[None, :]
+        keep = cand < values.size
+        cand = cand[keep]
+        cand_val = values[cand]
+        qualified = cand_val > threshold
+        return cand[qualified], cand_val[qualified]
+
+    def _online_threshold_extras(
+        self,
+        values: np.ndarray,
+        reg_idx: np.ndarray,
+        reg_val: np.ndarray,
+        offsets: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Qualified extras under the online running-mean threshold.
+
+        Until some interval *keeps* an extra, the running statistics are
+        exactly the regular-sample prefix sums, so the threshold entering
+        regular sample i is ``eps * cumsum_reg[i-1] / i`` (for
+        ``i >= max(n_presamples, 1)``) and the whole trigger mask is one
+        cumsum-based vector comparison; triggered intervals whose extras
+        all fail to qualify leave the statistics untouched, so the frozen
+        pass stays exact up to (and including) the first interval that
+        keeps extras.  Only from there does a scalar replay take over —
+        and bursts are rare by design, so most instances never leave the
+        vector path.
+        """
+        n = values.size
+        m = reg_idx.size
+        eps = self.epsilon
+        # First index at which the trigger comparison is live: the value
+        # must be past warm-up (seen_regular > n_presamples) and a finite
+        # threshold must exist (set after seen_regular >= n_presamples,
+        # hence from index max(P, 1) onward).
+        first_live = max(self.n_presamples, 1)
+        if first_live >= m:
+            return _NO_EXTRAS
+        cum_reg = np.cumsum(reg_val)
+        counts = np.arange(first_live, m, dtype=np.float64)
+        th0 = eps * cum_reg[first_live - 1 : m - 1] / counts
+        trig = np.flatnonzero(reg_val[first_live:] > th0) + first_live
+        if not trig.size:
+            return _NO_EXTRAS
+        # Evaluate every frozen-trigger interval's extras in one 2-D
+        # index-matrix gather.  Offsets lie strictly inside the interval,
+        # so only the final interval can reach past the series end.
+        ext_t = reg_idx[trig][:, None] + offsets[None, :]
+        in_range = ext_t < n
+        ext_v = values[np.where(in_range, ext_t, 0)]
+        kept = in_range & (ext_v > th0[trig - first_live, None])
+        keep_rows = np.flatnonzero(kept.any(axis=1))
+        if not keep_rows.size:
+            # No interval keeps extras: the frozen pass is the exact run.
+            return _NO_EXTRAS
+        # The first keeping interval saw undisturbed statistics, so its
+        # kept extras are exact; replay the remainder in scalar.
+        row = int(keep_rows[0])
+        pivot = int(trig[row])
+        pivot_mask = kept[row]
+        qualified_idx = list(ext_t[row, pivot_mask].tolist())
+        qualified_val = list(ext_v[row, pivot_mask].tolist())
+        running_sum = float(cum_reg[pivot])
+        running_count = pivot + 1
+        for extra in qualified_val:
+            running_sum += extra
+            running_count += 1
+        threshold = eps * running_sum / running_count
+        start = pivot + 1
+        if start < m:
+            tail_val = reg_val[start:].tolist()
+            # Replay triggers mostly coincide with the frozen triggers,
+            # whose extras are already gathered — expose them as plain
+            # Python lists keyed by regular-sample index.  The rare
+            # decision flip (replay threshold crossing the frozen one)
+            # re-gathers its interval on the fly.
+            later = trig >= start
+            cache = dict(
+                zip(
+                    trig[later].tolist(),
+                    zip(ext_t[later].tolist(), ext_v[later].tolist()),
+                )
+            )
+            offsets_list = offsets.tolist()
+            for r, value in enumerate(tail_val):
+                running_sum += value
+                running_count += 1
+                if value > threshold:
+                    entry = cache.get(start + r)
+                    if entry is None:
+                        base = int(reg_idx[start + r])
+                        row_t = [base + delta for delta in offsets_list]
+                        row_v = [
+                            float(values[extra_t])
+                            for extra_t in row_t
+                            if extra_t < n
+                        ]
+                    else:
+                        row_t, row_v = entry
+                    for c, extra_v in enumerate(row_v):
+                        extra_t = row_t[c]
+                        if extra_t >= n:
+                            break
+                        if extra_v > threshold:
+                            qualified_idx.append(extra_t)
+                            qualified_val.append(extra_v)
+                            running_sum += extra_v
+                            running_count += 1
+                # a_th updates once per interval, after any extras.
+                threshold = eps * running_sum / running_count
+        return (
+            np.asarray(qualified_idx, dtype=np.int64),
+            np.asarray(qualified_val, dtype=np.float64),
+        )
+
+    def _reference_sample(self, process, rng=None) -> SamplingResult:
+        """Original per-granule loop implementation (kept for parity tests)."""
         values = series_values(process)
         n = values.size
         interval = check_interval(self.interval, n)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.theory import delta_tau
-from repro.core.base import Sampler, series_values
+from repro.core.base import Sampler, check_interval, series_values
 from repro.core.bss import BiasedSystematicSampler
 from repro.core.simple_random import SimpleRandomSampler
 from repro.core.stratified import StratifiedSampler
@@ -36,7 +36,73 @@ def instance_means(
     Samplers whose randomness is a starting offset (systematic, BSS with
     ``offset=None``) get fresh offsets per instance via their own rng
     plumbing; fully random samplers get independent child generators.
+
+    Offset-randomized systematic and stratified ensembles are batched:
+    the per-instance randomness is drawn from each child generator exactly
+    as ``sample`` would, then every instance's samples are fetched with a
+    single 2-D index-matrix gather and reduced along rows — one numpy
+    dispatch for the whole Monte-Carlo ensemble instead of one sampling
+    pass per instance.  ``_reference_instance_means`` keeps the
+    instance-at-a-time loop for parity testing.
     """
+    require_int_at_least("n_instances", n_instances, 1)
+    gen = normalize_rng(rng)
+    children = spawn_rngs(gen, n_instances)
+    if isinstance(sampler, SystematicSampler) and sampler.offset is None:
+        return _systematic_instance_means(sampler, process, children)
+    if isinstance(sampler, StratifiedSampler):
+        return _stratified_instance_means(sampler, process, children)
+    return np.array(
+        [sampler.sample(process, child).sampled_mean for child in children]
+    )
+
+
+def _systematic_instance_means(
+    sampler: SystematicSampler, process, children
+) -> np.ndarray:
+    """Batched ensemble means for random-offset systematic sampling."""
+    values = series_values(process)
+    interval = check_interval(sampler.interval, values.size)
+    offsets = np.array(
+        [int(child.integers(0, interval)) for child in children],
+        dtype=np.int64,
+    )
+    # Instances whose offset leaves the same sample count share one
+    # rectangular gather (counts differ by at most 1 across offsets).
+    counts = -((offsets - values.size) // interval)
+    means = np.empty(offsets.size, dtype=np.float64)
+    for count in np.unique(counts):
+        rows = counts == count
+        idx = offsets[rows, None] + np.arange(count, dtype=np.int64) * interval
+        means[rows] = values[idx].mean(axis=1)
+    return means
+
+
+def _stratified_instance_means(
+    sampler: StratifiedSampler, process, children
+) -> np.ndarray:
+    """Batched ensemble means for stratified sampling."""
+    values = series_values(process)
+    interval = check_interval(sampler.interval, values.size)
+    n_full = values.size // interval
+    remainder = values.size - n_full * interval
+    n_cols = n_full + (1 if remainder > 0 else 0)
+    idx = np.empty((len(children), n_cols), dtype=np.int64)
+    starts = np.arange(n_full, dtype=np.int64) * interval
+    for row, child in enumerate(children):
+        # Same draws, in the same order, as StratifiedSampler.sample.
+        idx[row, :n_full] = starts + child.integers(0, interval, size=n_full)
+        if remainder > 0:
+            idx[row, n_full] = n_full * interval + int(
+                child.integers(0, remainder)
+            )
+    return values[idx].mean(axis=1)
+
+
+def _reference_instance_means(
+    sampler: Sampler, process, n_instances: int, rng=None
+) -> np.ndarray:
+    """Original instance-at-a-time loop (kept for parity tests)."""
     require_int_at_least("n_instances", n_instances, 1)
     gen = normalize_rng(rng)
     children = spawn_rngs(gen, n_instances)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1]
     python -m repro.experiments run all   [--scale 0.25]
+    python -m repro.experiments bench [--quick] [--output BENCH_PR1.json]
 """
 
 from __future__ import annotations
@@ -29,12 +30,34 @@ def main(argv=None) -> int:
                         help="workload scale in (0, 1] (default 1.0)")
     runner.add_argument("--seed", type=int, default=None,
                         help="override the master seed")
+    bench = sub.add_parser(
+        "bench",
+        help="time the vectorized hot paths against their reference loops",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="1/8-scale smoke-test mode (finishes in seconds)")
+    bench.add_argument("--output", default=None,
+                       help="JSON report path (default BENCH_PR1.json)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="override the benchmark workload seed")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in available_experiments():
             print(name)
         return 0
+
+    if args.command == "bench":
+        from repro.experiments.bench import main as bench_main
+
+        bench_argv = []
+        if args.quick:
+            bench_argv.append("--quick")
+        if args.output is not None:
+            bench_argv.extend(["--output", args.output])
+        if args.seed is not None:
+            bench_argv.extend(["--seed", str(args.seed)])
+        return bench_main(bench_argv)
 
     names = available_experiments() if args.name == "all" else [args.name]
     for name in names:
