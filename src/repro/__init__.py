@@ -16,6 +16,9 @@ Sampling Techniques for Self-Similar Internet Traffic" (ICDCS 2005):
 * :mod:`repro.hurst` — seven Hurst estimators including the wavelet
   (Abry-Veitch) tool the paper uses.
 * :mod:`repro.queueing` — fBm queueing (why the Hurst parameter matters).
+* :mod:`repro.parallel` — the sharded ensemble engine: deterministic
+  multi-core Monte-Carlo with mergeable partial states and chunked
+  streaming (``workers=N`` is bit-identical to ``workers=1``).
 * :mod:`repro.experiments` — one runnable experiment per paper figure.
 
 Quickstart::
@@ -56,6 +59,12 @@ from repro.errors import (
     TraceFormatError,
 )
 from repro.hurst import HurstEstimate, estimate_hurst
+from repro.parallel import (
+    ShardPlan,
+    parallel_average_variance,
+    parallel_instance_means,
+    set_default_workers,
+)
 from repro.trace import (
     FlowTable,
     PacketRecord,
@@ -64,6 +73,7 @@ from repro.trace import (
     bin_bytes,
     bin_od_flow,
     bin_packets,
+    iter_trace_chunks,
     read_trace,
     write_trace,
 )
@@ -119,9 +129,15 @@ __all__ = [
     "bin_od_flow",
     "read_trace",
     "write_trace",
+    "iter_trace_chunks",
     # hurst
     "HurstEstimate",
     "estimate_hurst",
+    # parallel
+    "ShardPlan",
+    "parallel_instance_means",
+    "parallel_average_variance",
+    "set_default_workers",
     # errors
     "ReproError",
     "ParameterError",

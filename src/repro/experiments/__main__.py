@@ -3,9 +3,9 @@
 Usage::
 
     python -m repro.experiments list
-    python -m repro.experiments run fig18 [--scale 0.5] [--seed 1]
+    python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25]
-    python -m repro.experiments bench [--quick] [--output BENCH_PR1.json]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR2.json]
 """
 
 from __future__ import annotations
@@ -30,6 +30,9 @@ def main(argv=None) -> int:
                         help="workload scale in (0, 1] (default 1.0)")
     runner.add_argument("--seed", type=int, default=None,
                         help="override the master seed")
+    runner.add_argument("--workers", type=int, default=None,
+                        help="shard ensembles over N worker processes "
+                             "(results are identical for any N)")
     bench = sub.add_parser(
         "bench",
         help="time the vectorized hot paths against their reference loops",
@@ -37,9 +40,12 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR1.json)")
+                       help="JSON report path (default BENCH_PR2.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="also record workers=1 vs workers=N parallel-"
+                            "scaling rows for the sharded ensemble engine")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -57,12 +63,16 @@ def main(argv=None) -> int:
             bench_argv.extend(["--output", args.output])
         if args.seed is not None:
             bench_argv.extend(["--seed", str(args.seed)])
+        if args.workers is not None:
+            bench_argv.extend(["--workers", str(args.workers)])
         return bench_main(bench_argv)
 
     names = available_experiments() if args.name == "all" else [args.name]
     for name in names:
         start = time.perf_counter()
-        panels = run_experiment(name, scale=args.scale, seed=args.seed)
+        panels = run_experiment(
+            name, scale=args.scale, seed=args.seed, workers=args.workers
+        )
         elapsed = time.perf_counter() - start
         for panel in panels:
             print(panel.render())

@@ -9,12 +9,15 @@ stdlib ``time.perf_counter`` is the only timing dependency.
 
 Entry points
 ------------
-* ``python -m repro.experiments bench [--quick] [--output BENCH_PR1.json]``
+* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR2.json]``
 * ``python benchmarks/perf/run.py`` (same flags)
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR1.json``).
+trajectory record (``BENCH_PR2.json``).  ``--workers N`` additionally
+times the sharded ensemble engine (:mod:`repro.parallel`) at
+``workers=N`` against the identical ``workers=1`` computation and
+records the scaling rows in the report.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from repro.hurst.rs import (
     default_window_sizes,
     rs_statistics,
 )
+from repro.parallel.ensembles import parallel_rs_statistics
 from repro.queueing.simulation import (
     _reference_tail_probabilities,
     queue_occupancy,
@@ -53,17 +57,23 @@ from repro.traffic.synthetic import fgn_trace, synthetic_trace
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR1.json"
+DEFAULT_OUTPUT = "BENCH_PR2.json"
 
 
 @dataclass(frozen=True)
 class BenchResult:
-    """One timed hot path: vectorized versus reference implementation."""
+    """One timed hot path: vectorized versus reference implementation.
+
+    For parallel-scaling rows the roles are: ``vectorized_s`` is the
+    ``workers=N`` time, ``reference_s`` the ``workers=1`` time of the
+    same sharded path, and ``workers`` records N (1 for ordinary rows).
+    """
 
     name: str
     n: int
     vectorized_s: float
     reference_s: float
+    workers: int = 1
 
     @property
     def speedup(self) -> float:
@@ -86,7 +96,7 @@ def _best_of(fn, repeats: int) -> float:
     return best
 
 
-def _time_pair(name, n, fast, slow, *, repeats) -> BenchResult:
+def _time_pair(name, n, fast, slow, *, repeats, workers=1) -> BenchResult:
     # Both sides get the same number of draws so the best-of minimum is
     # sampled evenly — anything else would bias the recorded speedups.
     return BenchResult(
@@ -94,16 +104,21 @@ def _time_pair(name, n, fast, slow, *, repeats) -> BenchResult:
         n=n,
         vectorized_s=_best_of(fast, repeats),
         reference_s=_best_of(slow, repeats),
+        workers=workers,
     )
 
 
-def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED):
+def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int = 1):
     """Time every vectorized hot path against its reference loop.
 
     Returns a list of :class:`BenchResult`, one per case.  ``quick`` uses
     1/8-scale traces (smoke-test mode); the full mode uses the 1M-point
-    traces the acceptance targets are defined on.
+    traces the acceptance targets are defined on.  ``workers > 1``
+    appends parallel-scaling rows comparing the sharded ensemble engine
+    at ``workers=N`` against the identical computation at ``workers=1``.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     sampler_n = 1 << 17 if quick else 1 << 20
     estimator_n = 1 << 15 if quick else 1 << 19
     repeats = 2 if quick else 3
@@ -196,6 +211,29 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED):
         lambda: _reference_tail_probabilities(occupancy, thresholds),
         repeats=repeats,
     ))
+
+    # --- parallel scaling ------------------------------------------------
+    # The ROADMAP's heavy-trigger BSS regime (Pareto traffic, eps <= 1):
+    # the online-threshold replay caps single-process vectorization at
+    # ~2x, so the Monte-Carlo ensemble over instances is where a sharded
+    # runner earns its keep.  Both sides run the *same* sharded path and
+    # produce bit-identical means; only the worker count differs.
+    if workers > 1:
+        results.append(_time_pair(
+            "parallel_instance_means_bss_heavy", sampler_n,
+            lambda: instance_means(bss_dense, pareto, n_instances, seed,
+                                   workers=workers),
+            lambda: instance_means(bss_dense, pareto, n_instances, seed,
+                                   workers=1),
+            repeats=repeats, workers=workers,
+        ))
+        est_sizes = default_window_sizes(est.size)
+        results.append(_time_pair(
+            "parallel_rs_statistics", estimator_n,
+            lambda: parallel_rs_statistics(est, est_sizes, workers=workers),
+            lambda: parallel_rs_statistics(est, est_sizes, workers=1),
+            repeats=repeats, workers=workers,
+        ))
     return results
 
 
@@ -213,12 +251,13 @@ def render_results(results) -> str:
     return "\n".join(lines)
 
 
-def write_report(results, path, *, quick: bool, seed: int) -> None:
+def write_report(results, path, *, quick: bool, seed: int, workers: int = 1) -> None:
     """Write the JSON perf-trajectory record."""
     payload = {
-        "schema": "repro-bench v1",
+        "schema": "repro-bench v2",
         "mode": "quick" if quick else "full",
         "seed": seed,
+        "workers": workers,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": [r.to_dict() for r in results],
@@ -241,10 +280,16 @@ def main(argv=None) -> int:
                         help=f"JSON report path (default {DEFAULT_OUTPUT})")
     parser.add_argument("--seed", type=int, default=BENCH_SEED,
                         help="master workload seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="record workers=1 vs workers=N scaling rows "
+                             "for the sharded ensemble engine (default 1: "
+                             "no scaling rows)")
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(quick=args.quick, seed=args.seed)
+    results = run_benchmarks(quick=args.quick, seed=args.seed,
+                             workers=args.workers)
     print(render_results(results))
-    write_report(results, args.output, quick=args.quick, seed=args.seed)
+    write_report(results, args.output, quick=args.quick, seed=args.seed,
+                 workers=args.workers)
     print(f"\nwrote {args.output}")
     return 0

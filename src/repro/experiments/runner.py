@@ -106,18 +106,31 @@ def available_experiments() -> list[str]:
 
 
 def run_experiment(
-    name: str, *, scale: float = 1.0, seed: int | None = None
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
-    """Run one figure's experiment; returns its panels."""
+    """Run one figure's experiment; returns its panels.
+
+    ``workers`` routes every ensemble the experiment runs through the
+    sharded engine (:mod:`repro.parallel`) for the duration of the run.
+    Results are bit-identical to ``workers=1`` — parallelism is purely a
+    wall-clock lever, so figure outputs never depend on the machine.
+    """
     if name not in _REGISTRY:
         raise ParameterError(
             f"unknown experiment {name!r}; available: {available_experiments()}"
         )
+    from repro.parallel import default_workers
+
     module = importlib.import_module(_REGISTRY[name])
     kwargs = {"scale": scale}
     if seed is not None:
         kwargs["seed"] = seed
-    results = module.run(**kwargs)
+    with default_workers(workers):
+        results = module.run(**kwargs)
     if isinstance(results, ExperimentResult):
         return [results]
     return list(results)

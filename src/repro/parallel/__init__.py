@@ -1,0 +1,95 @@
+"""Sharded ensemble engine: deterministic multi-core Monte-Carlo.
+
+The paper's evaluation is ensemble-shaped everywhere — E(V) variance
+studies average over sampling instances, estimators reduce over
+windows/blocks/boxes, queueing curves over thresholds.  This package
+turns every such workload into a sharded computation:
+
+1. :mod:`~repro.parallel.plan` splits the items into balanced contiguous
+   shards;
+2. :mod:`~repro.parallel.executor` runs one picklable worker per shard
+   (``multiprocessing`` with a serial fallback, plus the session-wide
+   ``--workers`` default);
+3. :mod:`~repro.parallel.state` merges per-shard partial states;
+4. :mod:`~repro.parallel.ensembles` exposes the parallel twins of the
+   sequential routines, pinned to them by the determinism test-suite
+   (exact, or 1e-12 where the reduction order changes);
+5. :mod:`~repro.parallel.streaming` folds the same states over
+   bounded-memory chunk streams (including chunked trace files).
+
+``workers=1`` and ``workers=N`` are bit-for-bit identical for every
+randomised ensemble: per-instance RNG streams are spawned once from the
+caller's seed spec and sliced contiguously across shards.
+"""
+
+from repro.parallel.ensembles import (
+    parallel_aggregate_variances,
+    parallel_average_variance,
+    parallel_dfa_fluctuations,
+    parallel_instance_means,
+    parallel_rs_statistics,
+    parallel_tail_probabilities,
+)
+from repro.parallel.executor import (
+    default_workers,
+    get_default_workers,
+    resolve_workers,
+    run_shards,
+    set_default_workers,
+    suggested_workers,
+)
+from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.state import (
+    AggVarState,
+    DFAState,
+    EnsembleMeansState,
+    MergeableState,
+    MomentState,
+    RSState,
+    TailHistogramState,
+    merge_states,
+)
+from repro.parallel.streaming import (
+    chunked,
+    parallel_chunk_tail_probabilities,
+    streamed_moments,
+    streamed_queue_tail_probabilities,
+    streamed_tail_probabilities,
+    streamed_trace_size_moments,
+)
+
+__all__ = [
+    # plan
+    "Shard",
+    "ShardPlan",
+    # executor
+    "run_shards",
+    "set_default_workers",
+    "get_default_workers",
+    "default_workers",
+    "resolve_workers",
+    "suggested_workers",
+    # states
+    "MergeableState",
+    "merge_states",
+    "EnsembleMeansState",
+    "MomentState",
+    "RSState",
+    "AggVarState",
+    "DFAState",
+    "TailHistogramState",
+    # ensembles
+    "parallel_instance_means",
+    "parallel_average_variance",
+    "parallel_rs_statistics",
+    "parallel_aggregate_variances",
+    "parallel_dfa_fluctuations",
+    "parallel_tail_probabilities",
+    # streaming
+    "chunked",
+    "streamed_moments",
+    "streamed_tail_probabilities",
+    "streamed_queue_tail_probabilities",
+    "streamed_trace_size_moments",
+    "parallel_chunk_tail_probabilities",
+]

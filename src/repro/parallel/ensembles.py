@@ -1,0 +1,249 @@
+"""Sharded, deterministic parallel entry points for ensemble workloads.
+
+Each public function mirrors a sequential routine elsewhere in the
+library and is pinned to it by the determinism tests:
+
+===============================  ==========================================  ========
+parallel function                 sequential twin                             parity
+===============================  ==========================================  ========
+``parallel_instance_means``      ``repro.core.variance.instance_means``      exact
+``parallel_average_variance``    ``repro.core.variance.average_variance``    exact
+``parallel_tail_probabilities``  ``repro.queueing.tail_probabilities``       exact
+``parallel_rs_statistics``       ``repro.hurst.rs.rs_statistics``            1e-12
+``parallel_aggregate_variances`` ``repro.hurst.aggvar.aggregate_variances``  1e-12
+``parallel_dfa_fluctuations``    ``repro.hurst.dfa.dfa_fluctuations``        1e-12
+===============================  ==========================================  ========
+
+Randomised ensembles derive per-shard RNGs by spawning the full child
+list from the caller's seed spec in the parent (the exact list the serial
+path uses) and handing each shard its contiguous slice, so ``workers=1``
+and ``workers=N`` draw identical streams.  Estimator sharding splits the
+*windows/blocks/boxes* of each scale across shards and merges the partial
+states from :mod:`repro.parallel.state`; only the final reduction order
+changes, hence the 1e-12 rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Sampler, series_values
+from repro.core.variance import average_variance, ensemble_means_for_children
+from repro.errors import ParameterError
+from repro.parallel.executor import resolve_workers, run_shards
+from repro.parallel.plan import ShardPlan
+from repro.parallel.state import (
+    AggVarState,
+    DFAState,
+    EnsembleMeansState,
+    RSState,
+    TailHistogramState,
+    merge_states,
+)
+from repro.utils.arrays import as_float_array
+from repro.utils.rng import normalize_rng, spawn_rngs
+from repro.utils.validation import require_int_at_least
+
+
+# --------------------------------------------------------------- ensembles
+def _instance_means_partial(
+    sampler: Sampler, values: np.ndarray, children, start: int
+) -> EnsembleMeansState:
+    """Shard worker: sampled means for one contiguous slice of children."""
+    return EnsembleMeansState(
+        start=start,
+        means=ensemble_means_for_children(sampler, values, children),
+    )
+
+
+def parallel_instance_means(
+    sampler: Sampler, process, n_instances: int, rng=None, *, workers=None
+) -> np.ndarray:
+    """Sharded twin of :func:`repro.core.variance.instance_means`.
+
+    The full child-generator list is spawned in the parent — exactly as
+    the serial path spawns it — and sliced contiguously across shards, so
+    every instance consumes the same stream it would serially and the
+    concatenated result is bit-identical for any worker count.
+    """
+    require_int_at_least("n_instances", n_instances, 1)
+    n_workers = resolve_workers(workers)
+    gen = normalize_rng(rng)
+    children = spawn_rngs(gen, n_instances)
+    values = series_values(process)
+    plan = ShardPlan.split(n_instances, n_workers)
+    tasks = [
+        (sampler, values, children[shard.start : shard.stop], shard.start)
+        for shard in plan.shards
+    ]
+    partials = run_shards(_instance_means_partial, tasks, workers=n_workers)
+    return merge_states(partials).finalize()
+
+
+def parallel_average_variance(
+    sampler: Sampler,
+    process,
+    n_instances: int,
+    rng=None,
+    *,
+    true_mean: float | None = None,
+    workers=None,
+) -> float:
+    """Sharded twin of :func:`repro.core.variance.average_variance`.
+
+    A pure delegation: ``average_variance`` already routes its ensemble
+    through the sharded engine via ``workers``; this name exists so the
+    parallel API surface is symmetric with ``parallel_instance_means``.
+    """
+    return average_variance(
+        sampler, process, n_instances, rng, true_mean=true_mean, workers=workers
+    )
+
+
+# -------------------------------------------------------------- estimators
+def _shard_rows(n_rows: int, index: int, n_shards: int) -> tuple[int, int]:
+    """Rows [lo, hi) of shard ``index`` out of ``n_shards`` (balanced)."""
+    lo = (n_rows * index) // n_shards
+    hi = (n_rows * (index + 1)) // n_shards
+    return lo, hi
+
+
+def _rs_partial(
+    x: np.ndarray, window_sizes: np.ndarray, index: int, n_shards: int
+) -> RSState:
+    """Partial R/S sums over this shard's window rows of every size."""
+    finite_sum = np.zeros(len(window_sizes))
+    finite_count = np.zeros(len(window_sizes), dtype=np.int64)
+    for i, size in enumerate(window_sizes):
+        size = int(size)
+        n_windows = x.size // size
+        if n_windows == 0 or size < 2:
+            continue
+        lo, hi = _shard_rows(n_windows, index, n_shards)
+        if hi <= lo:
+            continue
+        windows = x[lo * size : hi * size].reshape(hi - lo, size)
+        std = windows.std(axis=1)
+        deviations = np.cumsum(windows - windows.mean(axis=1)[:, None], axis=1)
+        spans = deviations.max(axis=1) - deviations.min(axis=1)
+        keep = std != 0
+        finite_sum[i] = (spans[keep] / std[keep]).sum()
+        finite_count[i] = int(keep.sum())
+    return RSState(finite_sum=finite_sum, finite_count=finite_count)
+
+
+def parallel_rs_statistics(values, window_sizes, *, workers=None) -> np.ndarray:
+    """Sharded twin of :func:`repro.hurst.rs.rs_statistics`.
+
+    Windows of each size are split across shards; degenerate sizes (no
+    complete window, or size < 2) finalize to NaN exactly as the
+    sequential path reports them.
+    """
+    n_workers = resolve_workers(workers)
+    x = as_float_array(values, name="values", min_length=16)
+    sizes = np.asarray(window_sizes, dtype=np.int64)
+    n_shards = n_workers
+    tasks = [(x, sizes, index, n_shards) for index in range(n_shards)]
+    partials = run_shards(_rs_partial, tasks, workers=n_workers)
+    return merge_states(partials).finalize()
+
+
+def _aggvar_partial(
+    x: np.ndarray, block_sizes: np.ndarray, index: int, n_shards: int
+) -> AggVarState:
+    """Partial block-mean moments over this shard's blocks of every size."""
+    per_size_means = []
+    for m in block_sizes:
+        m = int(m)
+        n_blocks = x.size // m
+        lo, hi = _shard_rows(n_blocks, index, n_shards)
+        if hi <= lo:
+            per_size_means.append(np.empty(0))
+            continue
+        per_size_means.append(x[lo * m : hi * m].reshape(hi - lo, m).mean(axis=1))
+    return AggVarState.from_block_means(per_size_means)
+
+
+def parallel_aggregate_variances(values, block_sizes, *, workers=None) -> np.ndarray:
+    """Sharded twin of :func:`repro.hurst.aggvar.aggregate_variances`."""
+    n_workers = resolve_workers(workers)
+    x = as_float_array(values, name="values", min_length=4)
+    sizes = np.asarray(block_sizes, dtype=np.int64)
+    # Mirror block_means' contract on the sequential path.
+    for m in sizes:
+        m = int(m)
+        if m < 1:
+            raise ParameterError(f"block must be >= 1, got {m}")
+        if x.size // m == 0:
+            raise ParameterError(
+                f"series of length {x.size} has no complete block of size {m}"
+            )
+    n_shards = n_workers
+    tasks = [(x, sizes, index, n_shards) for index in range(n_shards)]
+    partials = run_shards(_aggvar_partial, tasks, workers=n_workers)
+    return merge_states(partials).finalize()
+
+
+def _dfa_partial(
+    profile: np.ndarray, box_sizes: np.ndarray, index: int, n_shards: int
+) -> DFAState:
+    """Partial squared-residual sums over this shard's boxes of every size."""
+    sq_sum = np.zeros(len(box_sizes))
+    n_points = np.zeros(len(box_sizes), dtype=np.int64)
+    for i, size in enumerate(box_sizes):
+        size = int(size)
+        n_boxes = profile.size // size
+        if n_boxes < 1 or size < 4:
+            continue
+        lo, hi = _shard_rows(n_boxes, index, n_shards)
+        if hi <= lo:
+            continue
+        boxes = profile[lo * size : hi * size].reshape(hi - lo, size)
+        t = np.arange(size, dtype=np.float64)
+        t_mean = t.mean()
+        t_centered = t - t_mean
+        denom = np.dot(t_centered, t_centered)
+        slopes = boxes @ t_centered / denom
+        intercepts = boxes.mean(axis=1) - slopes * t_mean
+        trends = slopes[:, None] * t[None, :] + intercepts[:, None]
+        residuals = boxes - trends
+        sq_sum[i] = float((residuals**2).sum())
+        n_points[i] = residuals.size
+    return DFAState(sq_sum=sq_sum, n_points=n_points)
+
+
+def parallel_dfa_fluctuations(values, box_sizes, *, workers=None) -> np.ndarray:
+    """Sharded twin of :func:`repro.hurst.dfa.dfa_fluctuations`.
+
+    The integrated profile is a global cumulative sum and is computed once
+    in the parent; shards detrend disjoint box ranges of it.
+    """
+    n_workers = resolve_workers(workers)
+    x = as_float_array(values, name="values", min_length=32)
+    profile = np.cumsum(x - x.mean())
+    sizes = np.asarray(box_sizes, dtype=np.int64)
+    n_shards = n_workers
+    tasks = [(profile, sizes, index, n_shards) for index in range(n_shards)]
+    partials = run_shards(_dfa_partial, tasks, workers=n_workers)
+    return merge_states(partials).finalize()
+
+
+# ---------------------------------------------------------------- queueing
+def _tail_partial(chunk: np.ndarray, thresholds: np.ndarray) -> TailHistogramState:
+    """Shard worker: exact exceedance counts for one occupancy chunk."""
+    return TailHistogramState.from_values(chunk, thresholds)
+
+
+def parallel_tail_probabilities(occupancy, thresholds, *, workers=None) -> np.ndarray:
+    """Sharded twin of :func:`repro.queueing.simulation.tail_probabilities`.
+
+    Exceedance counts are integers, so any partition of the occupancy
+    series merges to exactly the whole-array answer.
+    """
+    n_workers = resolve_workers(workers)
+    q = as_float_array(occupancy, name="occupancy")
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    plan = ShardPlan.split(q.size, n_workers)
+    tasks = [(q[shard.start : shard.stop], thresholds) for shard in plan.shards]
+    partials = run_shards(_tail_partial, tasks, workers=n_workers)
+    return merge_states(partials).finalize()

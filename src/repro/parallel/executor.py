@@ -1,0 +1,94 @@
+"""Worker-pool executor with a serial fallback and a session-wide default.
+
+``run_shards`` is the only place in the library that touches
+``multiprocessing``: every parallel entry point hands it a module-level
+worker function plus one argument tuple per shard and gets the per-shard
+results back *in shard order*.  ``workers=1`` (the default) never creates
+a pool — the tasks run in-process, in order, so the serial path is the
+parallel path with a trivial plan, not a separate code branch.
+
+If a pool cannot be created (sandboxed environments without working
+semaphores, platforms without ``fork``), execution silently degrades to
+the serial path: results are identical by construction, only slower.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+
+from repro.errors import ParameterError
+
+#: Session-wide default worker count, set by ``--workers`` at the CLI.
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the session default used when a call site passes ``workers=None``."""
+    global _DEFAULT_WORKERS
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    _DEFAULT_WORKERS = int(workers)
+
+
+def get_default_workers() -> int:
+    """Current session default worker count."""
+    return _DEFAULT_WORKERS
+
+
+@contextlib.contextmanager
+def default_workers(workers: int | None):
+    """Temporarily set the session default (no-op when ``workers`` is None)."""
+    if workers is None:
+        yield
+        return
+    previous = get_default_workers()
+    set_default_workers(workers)
+    try:
+        yield
+    finally:
+        set_default_workers(previous)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` argument: ``None`` means the session default."""
+    if workers is None:
+        return get_default_workers()
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ParameterError(f"workers must be an int or None, got {workers!r}")
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def suggested_workers() -> int:
+    """A sensible ``--workers`` value for this machine (>= 1)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_shards(fn, tasks, *, workers: int | None = None) -> list:
+    """Apply ``fn(*task)`` to every task, returning results in task order.
+
+    ``fn`` must be a module-level (picklable) function and each task a
+    tuple of picklable arguments.  With ``workers > 1`` and more than one
+    task, tasks are distributed over a process pool; otherwise — or when a
+    pool cannot be created — they run serially in-process.  Exceptions
+    raised by ``fn`` propagate to the caller either way.
+    """
+    tasks = list(tasks)
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(tasks) <= 1:
+        return [fn(*task) for task in tasks]
+    try:
+        # Prefer fork (cheap, inherits the parent's numpy state) and fall
+        # back to the platform default where fork is unavailable.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        pool = ctx.Pool(processes=min(n_workers, len(tasks)))
+    except (OSError, ValueError, RuntimeError):
+        # No working pool in this environment: degrade to the serial path,
+        # which is bit-for-bit identical by construction.
+        return [fn(*task) for task in tasks]
+    with pool:
+        return pool.starmap(fn, tasks)

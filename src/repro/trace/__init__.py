@@ -3,6 +3,7 @@
 from repro.trace.binning import bin_bytes, bin_od_flow, bin_packets
 from repro.trace.flows import FlowSummary, FlowTable, aggregate_flows, od_flow_trace
 from repro.trace.io import (
+    iter_trace_chunks,
     read_binary,
     read_csv,
     read_trace,
@@ -32,4 +33,5 @@ __all__ = [
     "write_binary",
     "read_trace",
     "write_trace",
+    "iter_trace_chunks",
 ]

@@ -67,34 +67,58 @@ def write_csv(trace: PacketTrace, path) -> None:
             fh.write("\n")
 
 
+def _iter_csv_rows(fh, path):
+    """Yield parsed ``(timestamp, src, dst, size, proto)`` rows.
+
+    Shared by the whole-file reader and the chunked iterator so both
+    enforce identical validation (and raise identical errors).  The
+    header line must already have been consumed.
+    """
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 5:
+            raise TraceFormatError(
+                f"{path}:{lineno}: expected 5 fields, got {len(parts)}"
+            )
+        try:
+            yield (
+                float(parts[0]),
+                int(parts[1]),
+                int(parts[2]),
+                int(parts[3]),
+                int(parts[4]),
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
+
+
+def _check_csv_header(fh, path) -> None:
+    first = fh.readline().rstrip("\n")
+    if not first.startswith("# repro-trace v1"):
+        raise TraceFormatError(
+            f"{path}: missing 'repro-trace v1' header (got {first!r})"
+        )
+
+
+def _trace_from_rows(rows) -> PacketTrace:
+    return PacketTrace(
+        timestamps=[r[0] for r in rows],
+        sources=[r[1] for r in rows],
+        destinations=[r[2] for r in rows],
+        sizes=[r[3] for r in rows],
+        protocols=[r[4] for r in rows],
+    )
+
+
 def read_csv(path) -> PacketTrace:
     """Read a CSV trace written by :func:`write_csv`."""
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
-        first = fh.readline().rstrip("\n")
-        if not first.startswith("# repro-trace v1"):
-            raise TraceFormatError(
-                f"{path}: missing 'repro-trace v1' header (got {first!r})"
-            )
-        timestamps, sources, destinations, sizes, protocols = [], [], [], [], []
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split(",")
-            if len(parts) != 5:
-                raise TraceFormatError(
-                    f"{path}:{lineno}: expected 5 fields, got {len(parts)}"
-                )
-            try:
-                timestamps.append(float(parts[0]))
-                sources.append(int(parts[1]))
-                destinations.append(int(parts[2]))
-                sizes.append(int(parts[3]))
-                protocols.append(int(parts[4]))
-            except ValueError as exc:
-                raise TraceFormatError(f"{path}:{lineno}: {exc}") from exc
-    return PacketTrace(timestamps, sources, destinations, sizes, protocols)
+        _check_csv_header(fh, path)
+        return _trace_from_rows(list(_iter_csv_rows(fh, path)))
 
 
 # ------------------------------------------------------------------ binary
@@ -143,6 +167,80 @@ def read_binary(path) -> PacketTrace:
         records["dst"].astype(np.uint32),
         records["size"].astype(np.uint32),
         records["proto"].astype(np.uint8),
+    )
+
+
+# --------------------------------------------------------------- chunked
+#: Default packets per chunk for the streaming readers: large enough to
+#: amortise per-chunk overhead, small enough (~1 MiB of binary records)
+#: to keep memory bounded on traces far larger than RAM.
+DEFAULT_CHUNK_PACKETS = 1 << 16
+
+
+def _iter_csv_chunks(path: Path, chunk_size: int):
+    with path.open("r", encoding="utf-8") as fh:
+        _check_csv_header(fh, path)
+        rows = []
+        for row in _iter_csv_rows(fh, path):
+            rows.append(row)
+            if len(rows) == chunk_size:
+                yield _trace_from_rows(rows)
+                rows = []
+        if rows:
+            yield _trace_from_rows(rows)
+
+
+def _iter_binary_chunks(path: Path, chunk_size: int):
+    with path.open("rb") as fh:
+        header = fh.read(len(_BINARY_MAGIC) + 8)
+        if not header.startswith(_BINARY_MAGIC):
+            raise TraceFormatError(f"{path}: bad magic, not a repro binary trace")
+        if len(header) < len(_BINARY_MAGIC) + 8:
+            raise TraceFormatError(f"{path}: truncated header")
+        (count,) = struct.unpack_from("<Q", header, len(_BINARY_MAGIC))
+        remaining = count
+        while remaining > 0:
+            n = min(remaining, chunk_size)
+            data = fh.read(n * _RECORD.size)
+            if len(data) != n * _RECORD.size:
+                raise TraceFormatError(
+                    f"{path}: truncated or oversized trace "
+                    f"(header promised {count} packets)"
+                )
+            records = np.frombuffer(data, dtype=_RECORD_DTYPE, count=n)
+            yield PacketTrace(
+                records["timestamp"].astype(np.float64),
+                records["src"].astype(np.uint32),
+                records["dst"].astype(np.uint32),
+                records["size"].astype(np.uint32),
+                records["proto"].astype(np.uint8),
+            )
+            remaining -= n
+        if fh.read(1):
+            raise TraceFormatError(
+                f"{path}: truncated or oversized trace "
+                f"(trailing bytes after {count} packets)"
+            )
+
+
+def iter_trace_chunks(path, *, chunk_size: int = DEFAULT_CHUNK_PACKETS):
+    """Iterate a trace file as bounded-memory :class:`PacketTrace` chunks.
+
+    Yields successive chunks of at most ``chunk_size`` packets, in file
+    order, choosing the format from the extension exactly like
+    :func:`read_trace` — but only ever holding one chunk in memory, so
+    traces far larger than RAM can feed sharded reductions.  The last
+    chunk may be partial; an empty trace yields no chunks.
+    """
+    path = Path(path)
+    if chunk_size < 1:
+        raise TraceFormatError(f"chunk_size must be >= 1, got {chunk_size}")
+    if path.suffix == ".csv":
+        return _iter_csv_chunks(path, chunk_size)
+    if path.suffix == ".rpt":
+        return _iter_binary_chunks(path, chunk_size)
+    raise TraceFormatError(
+        f"unknown trace extension {path.suffix!r} (use .csv or .rpt)"
     )
 
 

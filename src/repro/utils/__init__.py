@@ -1,7 +1,7 @@
 """Shared utilities: RNG handling, validation, array helpers, text tables."""
 
 from repro.utils.arrays import as_float_array, block_means, sliding_disjoint_blocks
-from repro.utils.rng import normalize_rng, spawn_rngs
+from repro.utils.rng import copy_sequence, normalize_rng, spawn_rngs
 from repro.utils.tables import format_table
 from repro.utils.validation import (
     require_in_range,
@@ -14,6 +14,7 @@ __all__ = [
     "as_float_array",
     "block_means",
     "sliding_disjoint_blocks",
+    "copy_sequence",
     "normalize_rng",
     "spawn_rngs",
     "format_table",

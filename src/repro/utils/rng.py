@@ -39,15 +39,43 @@ def normalize_rng(rng=None) -> np.random.Generator:
     )
 
 
+def copy_sequence(seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """Fresh :class:`~numpy.random.SeedSequence` with the same seed data.
+
+    ``SeedSequence.spawn`` advances the parent's spawn counter in place, so
+    spawning from a caller-supplied sequence would silently consume it: the
+    next spawn from the same object yields *different* children.  Sharded
+    runs rebuild their shard plan from one seed spec on every worker, so
+    the derivation must be a pure function of the seed data — spawning from
+    a copy keeps the caller's object untouched.
+    """
+    return np.random.SeedSequence(
+        entropy=seq.entropy, spawn_key=seq.spawn_key, pool_size=seq.pool_size
+    )
+
+
 def spawn_rngs(rng, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     The parent spec is normalised first; children are produced through
     ``SeedSequence.spawn`` semantics (via ``Generator.spawn`` when available)
     so repeated experiment instances never share streams.
+
+    A :class:`~numpy.random.SeedSequence` parent is treated as a *value*
+    (pure seed data), not a stateful object: spawning happens on a copy, so
+    the same sequence always derives the same children and the caller's
+    object is never consumed.  Pass a ``Generator`` for stateful spawning.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        # Validate the spec but never touch a parent's spawn state for an
+        # empty shard plan.
+        normalize_rng(rng)
+        return []
+    if isinstance(rng, np.random.SeedSequence):
+        children = copy_sequence(rng).spawn(count)
+        return [np.random.default_rng(child) for child in children]
     parent = normalize_rng(rng)
     return list(parent.spawn(count))
 
@@ -57,7 +85,12 @@ def stream_for(name: str, seed: int) -> np.random.Generator:
 
     Used by the experiment harness so each figure's workload draws from its
     own named stream: changing one experiment never perturbs another.
+
+    ``seed`` may be any Python int (sharded sweeps derive labelled seeds
+    arithmetically, which can go negative or exceed 64 bits); it is folded
+    into ``SeedSequence``'s accepted range rather than rejected.
     """
+    seed = int(seed) & 0xFFFFFFFFFFFFFFFF
     digest = np.frombuffer(name.encode("utf-8"), dtype=np.uint8)
     entropy = (int(digest.sum()) * 1_000_003 + len(name) * 7919) ^ seed
     return np.random.default_rng(np.random.SeedSequence([seed, entropy & 0xFFFFFFFF]))

@@ -1,0 +1,148 @@
+"""Tests for repro.parallel.state: merge algebra of the partial states."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel.state import (
+    AggVarState,
+    EnsembleMeansState,
+    MergeableState,
+    MomentState,
+    RSState,
+    TailHistogramState,
+    merge_states,
+)
+
+
+class TestMomentState:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(3.0, 2.0, size=1001)
+        state = MomentState.from_values(x)
+        assert state.count == x.size
+        assert state.mean == pytest.approx(x.mean(), rel=1e-12)
+        assert state.variance == pytest.approx(x.var(), rel=1e-12)
+
+    def test_merge_matches_whole(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=997)
+        merged = MomentState.from_values(x[:313]).merge(
+            MomentState.from_values(x[313:])
+        )
+        assert merged.count == x.size
+        assert merged.mean == pytest.approx(x.mean(), rel=1e-12)
+        assert merged.variance == pytest.approx(x.var(), rel=1e-12)
+
+    def test_empty_is_identity(self):
+        state = MomentState.from_values([1.0, 2.0, 3.0])
+        assert MomentState().merge(state) == state
+        assert state.merge(MomentState()) == state
+
+    def test_empty_finalizes_to_nan(self):
+        count, mean, variance = MomentState().finalize()
+        assert count == 0
+        assert np.isnan(mean) and np.isnan(variance)
+
+    def test_merge_order_near_invariant(self):
+        rng = np.random.default_rng(2)
+        parts = [MomentState.from_values(rng.normal(size=100)) for _ in range(5)]
+        forward = merge_states(parts)
+        backward = merge_states(parts[::-1])
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-12)
+        assert forward.variance == pytest.approx(backward.variance, rel=1e-12)
+
+
+class TestEnsembleMeansState:
+    def test_merge_restores_order(self):
+        a = EnsembleMeansState(start=0, means=np.array([1.0, 2.0]))
+        b = EnsembleMeansState(start=2, means=np.array([3.0]))
+        for merged in (a.merge(b), b.merge(a)):
+            np.testing.assert_array_equal(merged.finalize(), [1.0, 2.0, 3.0])
+
+    def test_non_adjacent_rejected(self):
+        a = EnsembleMeansState(start=0, means=np.array([1.0]))
+        c = EnsembleMeansState(start=5, means=np.array([2.0]))
+        with pytest.raises(ParameterError, match="non-adjacent"):
+            a.merge(c)
+
+
+class TestTailHistogramState:
+    def test_counts_exact(self):
+        q = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        thresholds = np.array([0.5, 2.0, 10.0])
+        state = TailHistogramState.from_values(q, thresholds)
+        np.testing.assert_array_equal(state.above, [4, 2, 0])
+        np.testing.assert_array_equal(state.finalize(), [0.8, 0.4, 0.0])
+
+    def test_merge_is_addition(self):
+        thresholds = np.array([1.0])
+        a = TailHistogramState.from_values([0.5, 2.0], thresholds)
+        b = TailHistogramState.from_values([3.0], thresholds)
+        merged = a.merge(b)
+        assert merged.total == 3
+        np.testing.assert_array_equal(merged.above, [2])
+
+    def test_empty_identity(self):
+        thresholds = np.array([1.0, 2.0])
+        state = TailHistogramState.from_values([0.0, 3.0], thresholds)
+        merged = TailHistogramState.empty(2).merge(state)
+        np.testing.assert_array_equal(merged.above, state.above)
+        assert merged.total == state.total
+
+    def test_empty_finalize_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            TailHistogramState.empty(3).finalize()
+
+    def test_mismatched_grids_rejected(self):
+        a = TailHistogramState.empty(2)
+        b = TailHistogramState.empty(3)
+        with pytest.raises(ParameterError, match="different scale grids"):
+            a.merge(b)
+
+
+class TestRSState:
+    def test_no_finite_windows_is_nan(self):
+        state = RSState(
+            finite_sum=np.zeros(2), finite_count=np.zeros(2, dtype=np.int64)
+        )
+        assert np.all(np.isnan(state.finalize()))
+
+    def test_merge_sums(self):
+        a = RSState(finite_sum=np.array([2.0]), finite_count=np.array([1]))
+        b = RSState(finite_sum=np.array([4.0]), finite_count=np.array([1]))
+        np.testing.assert_allclose(a.merge(b).finalize(), [3.0])
+
+
+class TestAggVarState:
+    def test_merge_matches_whole_variance(self):
+        rng = np.random.default_rng(3)
+        means = rng.normal(size=101)
+        a = AggVarState.from_block_means([means[:40]])
+        b = AggVarState.from_block_means([means[40:]])
+        np.testing.assert_allclose(
+            a.merge(b).finalize(), [means.var()], rtol=1e-12
+        )
+
+    def test_empty_level_stays_nan(self):
+        state = AggVarState.from_block_means([np.empty(0)])
+        assert np.all(np.isnan(state.finalize()))
+
+
+class TestProtocol:
+    def test_states_satisfy_protocol(self):
+        instances = [
+            MomentState(),
+            EnsembleMeansState(start=0, means=np.empty(0)),
+            TailHistogramState.empty(1),
+            RSState(np.zeros(1), np.zeros(1, dtype=np.int64)),
+            AggVarState.from_block_means([np.empty(0)]),
+        ]
+        for state in instances:
+            assert isinstance(state, MergeableState)
+
+    def test_merge_states_empty_rejected(self):
+        with pytest.raises(ParameterError, match="empty"):
+            merge_states([])

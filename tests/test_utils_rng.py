@@ -7,6 +7,7 @@ import pytest
 
 from repro.utils.rng import (
     choice_without_replacement,
+    copy_sequence,
     normalize_rng,
     spawn_rngs,
     split_sequence,
@@ -65,6 +66,76 @@ class TestSpawnRngs:
         with pytest.raises(ValueError, match="non-negative"):
             spawn_rngs(0, -1)
 
+    # --- edge cases surfaced by the sharded ensemble engine -------------
+    def test_zero_count_every_spec_type(self):
+        """An empty shard plan spawns nothing for any accepted rng spec."""
+        assert spawn_rngs(None, 0) == []
+        assert spawn_rngs(7, 0) == []
+        assert spawn_rngs(np.random.SeedSequence(7), 0) == []
+        assert spawn_rngs(np.random.default_rng(7), 0) == []
+
+    def test_zero_count_still_validates_spec(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            spawn_rngs("bad-spec", 0)
+
+    def test_zero_count_does_not_consume_parent(self):
+        """n=0 shards must not advance a Generator parent's spawn state."""
+        gen_a = np.random.default_rng(3)
+        gen_b = np.random.default_rng(3)
+        spawn_rngs(gen_a, 0)
+        a = spawn_rngs(gen_a, 2)[0].random(4)
+        b = spawn_rngs(gen_b, 2)[0].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_sequence_reuse_is_deterministic(self):
+        """A SeedSequence parent is a value: respawning yields the same
+        children, so shard plans rebuilt from one spec agree."""
+        seq = np.random.SeedSequence(42)
+        first = [g.random(4) for g in spawn_rngs(seq, 3)]
+        second = [g.random(4) for g in spawn_rngs(seq, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_seed_sequence_not_consumed(self):
+        seq = np.random.SeedSequence(42)
+        spawn_rngs(seq, 5)
+        assert seq.n_children_spawned == 0
+
+    def test_consumed_seed_sequence_spawns_same_children(self):
+        """Even a sequence whose spawn counter was advanced elsewhere
+        derives children from its seed data alone."""
+        fresh = np.random.SeedSequence(42)
+        consumed = np.random.SeedSequence(42)
+        consumed.spawn(7)  # simulate prior use by another component
+        a = spawn_rngs(fresh, 2)[1].random(4)
+        b = spawn_rngs(consumed, 2)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_parent_still_stateful(self):
+        """Generator parents keep sequential spawn semantics: successive
+        calls yield fresh, non-overlapping streams."""
+        gen = np.random.default_rng(3)
+        a = spawn_rngs(gen, 2)[0].random(8)
+        b = spawn_rngs(gen, 2)[0].random(8)
+        assert not np.allclose(a, b)
+
+
+class TestCopySequence:
+    def test_same_seed_data(self):
+        seq = np.random.SeedSequence(9, spawn_key=(2,))
+        copy = copy_sequence(seq)
+        assert copy is not seq
+        assert copy.entropy == seq.entropy
+        assert copy.spawn_key == seq.spawn_key
+        np.testing.assert_array_equal(
+            copy.generate_state(4), seq.generate_state(4)
+        )
+
+    def test_copy_spawn_does_not_touch_original(self):
+        seq = np.random.SeedSequence(9)
+        copy_sequence(seq).spawn(3)
+        assert seq.n_children_spawned == 0
+
 
 class TestStreamFor:
     def test_same_name_same_stream(self):
@@ -81,6 +152,29 @@ class TestStreamFor:
         a = stream_for("fig05", 1).random(8)
         b = stream_for("fig05", 2).random(8)
         assert not np.allclose(a, b)
+
+    # --- edge cases surfaced by the sharded ensemble engine -------------
+    def test_negative_seed_accepted(self):
+        """Sharded sweeps derive labelled seeds arithmetically; negative
+        intermediate seeds must map to a valid deterministic stream."""
+        a = stream_for("shard:0", -3).random(4)
+        b = stream_for("shard:0", -3).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_and_positive_seeds_differ(self):
+        a = stream_for("shard:0", -3).random(8)
+        b = stream_for("shard:0", 3).random(8)
+        assert not np.allclose(a, b)
+
+    def test_huge_seed_accepted(self):
+        a = stream_for("shard:1", 2**80 + 5).random(4)
+        b = stream_for("shard:1", 2**80 + 5).random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_name_accepted(self):
+        a = stream_for("", 1).random(4)
+        b = stream_for("", 1).random(4)
+        np.testing.assert_array_equal(a, b)
 
 
 class TestChoiceWithoutReplacement:
