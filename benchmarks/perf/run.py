@@ -3,10 +3,11 @@
 Equivalent to ``python -m repro.experiments bench``; kept here so the
 perf harness lives next to the figure benchmarks.  Usage::
 
-    python benchmarks/perf/run.py [--quick] [--workers N] [--output BENCH_PR2.json]
+    python benchmarks/perf/run.py [--quick] [--workers N] [--output BENCH_PR3.json]
 
 ``--workers N`` appends workers=1 vs workers=N scaling rows for the
-sharded ensemble engine (:mod:`repro.parallel`) to the report.
+sharded ensemble engine (:mod:`repro.parallel`) to the report; every run
+records the shared-memory vs pickled shard-dispatch rows.
 """
 
 from __future__ import annotations

@@ -2,7 +2,10 @@
 
 Run ``python -m repro.experiments list`` to see the experiments and
 ``python -m repro.experiments run fig18`` to regenerate one figure's data
-as a text table.
+as a text table.  Figures declare their panels as
+:class:`~repro.experiments.sweeps.SweepSpec` objects; the sweep runner
+routes every ensemble through the sharded parallel engine, so
+``--workers N`` accelerates any figure without changing its numbers.
 """
 
 from repro.experiments.runner import (
@@ -10,5 +13,31 @@ from repro.experiments.runner import (
     available_experiments,
     run_experiment,
 )
+from repro.experiments.sweeps import (
+    CellSeries,
+    ColumnSeries,
+    DerivedSeries,
+    EnsembleSeries,
+    RowGroup,
+    SweepContext,
+    SweepSpec,
+    make_run,
+    run_panel,
+    run_panels,
+)
 
-__all__ = ["ExperimentResult", "available_experiments", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "available_experiments",
+    "run_experiment",
+    "SweepSpec",
+    "SweepContext",
+    "EnsembleSeries",
+    "CellSeries",
+    "RowGroup",
+    "DerivedSeries",
+    "ColumnSeries",
+    "run_panel",
+    "run_panels",
+    "make_run",
+]

@@ -5,7 +5,10 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR2.json]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR3.json]
+
+``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
+which sets the session default; results never depend on either.
 """
 
 from __future__ import annotations
@@ -32,7 +35,8 @@ def main(argv=None) -> int:
                         help="override the master seed")
     runner.add_argument("--workers", type=int, default=None,
                         help="shard ensembles over N worker processes "
-                             "(results are identical for any N)")
+                             "(results are identical for any N; overrides "
+                             "the REPRO_WORKERS env default)")
     bench = sub.add_parser(
         "bench",
         help="time the vectorized hot paths against their reference loops",
@@ -40,7 +44,7 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR2.json)")
+                       help="JSON report path (default BENCH_PR3.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,

@@ -1,8 +1,10 @@
-"""Shared sweep used by the BSS evaluation figures (12/13/16/17/18/19).
+"""Shared sweep spec used by the BSS evaluation figures (12/13/16/17/18/19).
 
 Each of those figures plots the same four curves — systematic, the
 proposed BSS variant, simple random, and the real mean — against the
-sampling rate; only how the BSS variant is parameterised differs.
+sampling rate, plus the BSS overhead column; only how the BSS variant is
+parameterised differs.  :func:`bss_comparison_spec` declares that panel
+once; the figures supply ``bss_for_rate``.
 """
 
 from __future__ import annotations
@@ -14,10 +16,10 @@ import numpy as np
 from repro.core.bss import BiasedSystematicSampler
 from repro.core.simple_random import SimpleRandomSampler
 from repro.core.systematic import SystematicSampler
-from repro.experiments.runner import ExperimentResult, median_instance_means
+from repro.experiments.sweeps import CellSeries, EnsembleSeries, SweepSpec
 
 
-def bss_comparison_panel(
+def bss_comparison_spec(
     trace,
     rates,
     bss_for_rate: Callable[[float], BiasedSystematicSampler],
@@ -27,58 +29,50 @@ def bss_comparison_panel(
     n_instances: int,
     seed: int,
     extra_notes: list[str] | None = None,
-) -> ExperimentResult:
+) -> SweepSpec:
     """Median sampled mean per rate for systematic / BSS / simple random."""
     true_mean = trace.mean
-    systematic, proposed, simple, overheads = [], [], [], []
-    for rate in np.asarray(rates, dtype=np.float64):
-        rate = float(rate)
-        systematic.append(
-            round(
-                median_instance_means(
-                    SystematicSampler.from_rate(rate, offset=None),
-                    trace, n_instances, f"{panel_id}:sys:{rate}", seed,
-                ),
-                4,
-            )
-        )
-        bss = bss_for_rate(rate)
-        proposed.append(
-            round(
-                median_instance_means(
-                    bss, trace, n_instances, f"{panel_id}:bss:{rate}", seed
-                ),
-                4,
-            )
-        )
-        simple.append(
-            round(
-                median_instance_means(
-                    SimpleRandomSampler.from_rate(rate),
-                    trace, n_instances, f"{panel_id}:ran:{rate}", seed,
-                ),
-                4,
-            )
-        )
-        result = bss.sample(trace, seed & 0xFFFF)
-        overheads.append(round(result.n_extra / max(result.n_base, 1), 4))
-    notes = [
-        "proposed = BSS; real mean shown per row",
-        f"mean BSS overhead over rates = {float(np.mean(overheads)):.3f}",
-    ]
-    if extra_notes:
-        notes.extend(extra_notes)
-    return ExperimentResult(
-        experiment_id=panel_id,
+
+    def overhead(ctx, rate: float) -> float:
+        # One deterministic sampling pass measures the realised overhead;
+        # ``seed & 0xFFFF`` is the fixed instance the original loops used.
+        result = bss_for_rate(rate).sample(trace, seed & 0xFFFF)
+        return result.n_extra / max(result.n_base, 1)
+
+    def notes(ctx, columns) -> list[str]:
+        lines = [
+            "proposed = BSS; real mean shown per row",
+            "mean BSS overhead over rates = "
+            f"{float(np.mean(columns['bss_overhead'])):.3f}",
+        ]
+        if extra_notes:
+            lines.extend(extra_notes)
+        return lines
+
+    return SweepSpec(
+        panel_id=panel_id,
         title=title,
         x_name="rate",
-        x_values=[float(r) for r in rates],
-        series={
-            "systematic": systematic,
-            "proposed": proposed,
-            "simple_random": simple,
-            "real_mean": [round(true_mean, 4)] * len(systematic),
-            "bss_overhead": overheads,
-        },
+        x_values=tuple(float(r) for r in np.asarray(rates, dtype=np.float64)),
+        trace=trace,
+        n_instances=n_instances,
+        seed=seed,
+        series=(
+            EnsembleSeries(
+                "systematic",
+                lambda r: SystematicSampler.from_rate(r, offset=None),
+                tag="sys",
+                round_to=4,
+            ),
+            EnsembleSeries("proposed", bss_for_rate, tag="bss", round_to=4),
+            EnsembleSeries(
+                "simple_random",
+                lambda r: SimpleRandomSampler.from_rate(r),
+                tag="ran",
+                round_to=4,
+            ),
+            CellSeries("real_mean", lambda ctx, r: true_mean, round_to=4),
+            CellSeries("bss_overhead", overhead, round_to=4),
+        ),
         notes=notes,
     )

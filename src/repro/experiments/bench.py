@@ -9,15 +9,17 @@ stdlib ``time.perf_counter`` is the only timing dependency.
 
 Entry points
 ------------
-* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR2.json]``
+* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR3.json]``
 * ``python benchmarks/perf/run.py`` (same flags)
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR2.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR3.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
-records the scaling rows in the report.
+records the scaling rows in the report.  Every run also records the
+shard-dispatch comparison: the zero-copy shared-trace protocol against
+PR 2's pickled-copy dispatch on the BSS heavy-trigger regime.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ from repro.hurst.rs import (
     rs_statistics,
 )
 from repro.parallel.ensembles import parallel_rs_statistics
+from repro.parallel.executor import trace_sharing
 from repro.queueing.simulation import (
     _reference_tail_probabilities,
     queue_occupancy,
@@ -57,7 +60,7 @@ from repro.traffic.synthetic import fgn_trace, synthetic_trace
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR2.json"
+DEFAULT_OUTPUT = "BENCH_PR3.json"
 
 
 @dataclass(frozen=True)
@@ -233,6 +236,30 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
             lambda: parallel_rs_statistics(est, est_sizes, workers=workers),
             lambda: parallel_rs_statistics(est, est_sizes, workers=1),
             repeats=repeats, workers=workers,
+        ))
+
+    # --- shard dispatch: shared-memory handles vs pickled copies ---------
+    # PR 3's zero-copy protocol: the 'vectorized' side dispatches the BSS
+    # heavy-trigger ensemble with the trace published once (handles cross
+    # the boundary), the 'reference' side with trace_sharing disabled
+    # (PR 2's per-shard pickle).  Results are bit-identical; the row
+    # records the copy the protocol removes.  workers=1 is the control —
+    # both sides collapse to the same serial path, so its speedup ~1.
+    def _bss_dispatch(n_workers: int):
+        return instance_means(bss_dense, pareto, n_instances, seed,
+                              workers=n_workers)
+
+    def _bss_dispatch_pickled(n_workers: int):
+        with trace_sharing(False):
+            return instance_means(bss_dense, pareto, n_instances, seed,
+                                  workers=n_workers)
+
+    for n_workers in sorted({1, workers}):
+        results.append(_time_pair(
+            f"shard_dispatch_shm_vs_pickle_w{n_workers}", sampler_n,
+            lambda n_workers=n_workers: _bss_dispatch(n_workers),
+            lambda n_workers=n_workers: _bss_dispatch_pickled(n_workers),
+            repeats=repeats, workers=n_workers,
         ))
     return results
 

@@ -13,29 +13,38 @@ import numpy as np
 from repro.analysis.fitting import fit_loglog
 from repro.analysis.theory import simple_random_sampled_acf
 from repro.experiments.config import MASTER_SEED
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import CellSeries, ColumnSeries, SweepSpec, make_run
 
 #: tau grid matching Fig. 2(a)'s log2 range [6.5, 9].
 TAUS = np.unique(np.round(np.geomspace(90, 512, 24)).astype(np.int64))
 RHO = 0.5
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
-    # Panel (a): beta = 0.1 in log2 coordinates.
+def _beta_hat(ctx, beta: float) -> float:
+    acf = simple_random_sampled_acf(TAUS, float(beta), rho=RHO)
+    return -fit_loglog(TAUS, acf).slope
+
+
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
+    # Panel (a): beta = 0.1 in log2 coordinates (one closed-form curve).
     acf = simple_random_sampled_acf(TAUS, 0.1, rho=RHO)
     fit_a = fit_loglog(TAUS, acf, base=2.0)
-    panel_a = ExperimentResult(
-        experiment_id="fig02a",
+    panel_a = SweepSpec(
+        panel_id="fig02a",
         title="log2 Rg(tau) of simple-random sampling, beta=0.1 (Eq. 11)",
         x_name="log2_tau",
-        x_values=[round(float(v), 4) for v in np.log2(TAUS)],
-        series={
-            "log2_Rg": [round(float(v), 5) for v in np.log2(acf)],
-            "fitted": [
-                round(float(fit_a.slope * t + fit_a.intercept), 5)
-                for t in np.log2(TAUS)
-            ],
-        },
+        x_values=tuple(round(float(v), 4) for v in np.log2(TAUS)),
+        seed=seed,
+        series=(
+            ColumnSeries("log2_Rg", [round(float(v), 5) for v in np.log2(acf)]),
+            ColumnSeries(
+                "fitted",
+                [
+                    round(float(fit_a.slope * t + fit_a.intercept), 5)
+                    for t in np.log2(TAUS)
+                ],
+            ),
+        ),
         notes=[
             f"fitted slope = {fit_a.slope:.4f} (paper: -0.08, true beta 0.1)",
             f"fit R^2 = {fit_a.r_squared:.5f}",
@@ -44,19 +53,25 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
 
     # Panel (b): sweep beta over the paper's range.
     betas = np.round(np.arange(0.1, 0.85, 0.1), 2)
-    beta_hats = []
-    for beta in betas:
-        acf = simple_random_sampled_acf(TAUS, float(beta), rho=RHO)
-        beta_hats.append(round(-fit_loglog(TAUS, acf).slope, 4))
-    panel_b = ExperimentResult(
-        experiment_id="fig02b",
+    panel_b = SweepSpec(
+        panel_id="fig02b",
         title="beta-hat vs beta for simple random sampling",
         x_name="beta",
-        x_values=[float(b) for b in betas],
-        series={"beta_hat": beta_hats},
-        notes=[
+        x_values=tuple(float(b) for b in betas),
+        seed=seed,
+        series=(CellSeries("beta_hat", _beta_hat, round_to=4),),
+        notes=lambda ctx, columns: [
             "max |beta_hat - beta| = "
-            f"{max(abs(b - h) for b, h in zip(betas, beta_hats)):.4f}"
+            + format(
+                max(
+                    abs(b - h)
+                    for b, h in zip(betas, columns["beta_hat"])
+                ),
+                ".4f",
+            )
         ],
     )
     return [panel_a, panel_b]
+
+
+run = make_run(build_specs)

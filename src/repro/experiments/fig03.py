@@ -11,20 +11,22 @@ import numpy as np
 from repro.core.renewal import IntervalDistribution
 from repro.core.snc import snc_sweep
 from repro.experiments.config import MASTER_SEED
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 INTERVAL = 10
 BETAS = np.round(np.arange(0.1, 0.85, 0.1), 2)
 
 
-def _panel(dist: IntervalDistribution, panel_id: str, title: str) -> ExperimentResult:
+def _panel_spec(dist: IntervalDistribution, panel_id: str, title: str) -> SweepSpec:
     results = snc_sweep(dist, BETAS)
-    return ExperimentResult(
-        experiment_id=panel_id,
+    return SweepSpec(
+        panel_id=panel_id,
         title=title,
         x_name="beta",
-        x_values=[float(b) for b in BETAS],
-        series={"beta_hat": [round(r.beta_hat, 4) for r in results]},
+        x_values=tuple(float(b) for b in BETAS),
+        series=(
+            ColumnSeries("beta_hat", [round(r.beta_hat, 4) for r in results]),
+        ),
         notes=[
             f"all preserved (tol 0.05): {all(r.preserved() for r in results)}",
             "max error = "
@@ -33,16 +35,19 @@ def _panel(dist: IntervalDistribution, panel_id: str, title: str) -> ExperimentR
     )
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     return [
-        _panel(
+        _panel_spec(
             IntervalDistribution.stratified(INTERVAL),
             "fig03a",
             "SNC check: stratified random sampling (C=10)",
         ),
-        _panel(
+        _panel_spec(
             IntervalDistribution.geometric(1.0 / INTERVAL),
             "fig03b",
             "SNC check: simple random sampling (r=0.1)",
         ),
     ]
+
+
+run = make_run(build_specs)

@@ -10,25 +10,30 @@ import numpy as np
 
 from repro.analysis.theory import delta_tau
 from repro.experiments.config import MASTER_SEED
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 BETAS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     taus = np.unique(np.round(np.geomspace(1, 100, 20)).astype(np.int64))
-    series = {}
+    columns = []
     all_positive = True
     for beta in BETAS:
         values = delta_tau(taus, beta)
         all_positive &= bool(np.all(values > 0))
-        series[f"beta={beta}"] = [round(float(v), 9) for v in values]
-    return ExperimentResult(
-        experiment_id="fig04",
+        columns.append(
+            ColumnSeries(f"beta={beta}", [round(float(v), 9) for v in values])
+        )
+    return SweepSpec(
+        panel_id="fig04",
         title="delta_tau vs tau (Theorem 2 precondition, Eq. 16)",
         x_name="tau",
-        x_values=[int(t) for t in taus],
-        series=series,
+        x_values=tuple(int(t) for t in taus),
+        series=tuple(columns),
         notes=[f"delta_tau > 0 everywhere: {all_positive} "
                "(Theorem 2 applies to self-similar traffic)"],
     )
+
+
+run = make_run(build_specs)

@@ -18,47 +18,56 @@ from repro.experiments.config import (
     real_trace,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult, median_instance_means
+from repro.experiments.sweeps import (
+    CellSeries,
+    DerivedSeries,
+    EnsembleSeries,
+    SweepSpec,
+    make_run,
+)
 
 
-def _panel(trace, rates, panel_id, title, scale, seed) -> ExperimentResult:
+def _panel_spec(trace, rates, panel_id, title, scale, seed) -> SweepSpec:
     rates = usable_rates(rates, len(trace))
-    n_instances = instances(21, scale)
-    sampled = [
-        round(
-            median_instance_means(
-                SystematicSampler.from_rate(float(r), offset=None),
-                trace,
-                n_instances,
-                f"{panel_id}:{r}",
-                seed,
-            ),
-            4,
-        )
-        for r in rates
-    ]
     true_mean = trace.mean
-    etas = [round(1.0 - s / true_mean, 4) for s in sampled]
-    return ExperimentResult(
-        experiment_id=panel_id,
-        title=title,
-        x_name="rate",
-        x_values=[float(r) for r in rates],
-        series={
-            "sampled_mean": sampled,
-            "real_mean": [round(true_mean, 4)] * len(sampled),
-            "eta": etas,
-        },
-        notes=[
+
+    def notes(ctx, columns):
+        etas = columns["eta"]
+        return [
             f"eta at lowest rate = {etas[0]:.3f}, at highest = {etas[-1]:.3f} "
             "(under-estimation shrinks with rate)",
-        ],
+        ]
+
+    return SweepSpec(
+        panel_id=panel_id,
+        title=title,
+        x_name="rate",
+        x_values=tuple(float(r) for r in rates),
+        trace=trace,
+        n_instances=instances(21, scale),
+        seed=seed,
+        series=(
+            # Tagless stream: the original loop seeded "<panel>:<rate>".
+            EnsembleSeries(
+                "sampled_mean",
+                lambda r: SystematicSampler.from_rate(r, offset=None),
+                tag=None,
+                round_to=4,
+            ),
+            CellSeries("real_mean", lambda ctx, r: true_mean, round_to=4),
+            DerivedSeries(
+                "eta",
+                lambda ctx, r, row: 1.0 - row["sampled_mean"] / true_mean,
+                round_to=4,
+            ),
+        ),
+        notes=notes,
     )
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     return [
-        _panel(
+        _panel_spec(
             eval_trace(scale, seed),
             SYNTHETIC_RATES,
             "fig06a",
@@ -66,7 +75,7 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
             scale,
             seed,
         ),
-        _panel(
+        _panel_spec(
             real_trace(scale, seed),
             REAL_RATES,
             "fig06b",
@@ -75,3 +84,6 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
             seed,
         ),
     ]
+
+
+run = make_run(build_specs)

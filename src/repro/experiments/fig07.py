@@ -16,28 +16,33 @@ from repro.experiments.config import (
     eval_trace,
     real_trace,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 EPSILON = 0.5
 
 
-def _panel(trace, panel_id, title) -> ExperimentResult:
+def _panel_spec(trace, panel_id, title) -> SweepSpec:
     analysis = analyze_bursts(trace.values, epsilon=EPSILON)
     lengths, ccdf = analysis.ccdf()
-    # Log-spaced subset of the CCDF for the table.
+    # Log-spaced subset of the CCDF for the table; the x grid is data-
+    # derived, so both curves arrive as precomputed columns.
     idx = np.unique(
         np.round(np.geomspace(1, lengths.size, 15)).astype(np.int64) - 1
     )
     fitted = analysis.tail_fit.distribution.ccdf(lengths[idx])
-    return ExperimentResult(
-        experiment_id=panel_id,
+    return SweepSpec(
+        panel_id=panel_id,
         title=title,
         x_name="burst_length",
-        x_values=[float(b) for b in lengths[idx]],
-        series={
-            "measured_ccdf": [round(float(p), 6) for p in ccdf[idx]],
-            "fitted_pareto": [round(float(p), 6) for p in fitted],
-        },
+        x_values=tuple(float(b) for b in lengths[idx]),
+        series=(
+            ColumnSeries(
+                "measured_ccdf", [round(float(p), 6) for p in ccdf[idx]]
+            ),
+            ColumnSeries(
+                "fitted_pareto", [round(float(p), 6) for p in fitted]
+            ),
+        ),
         notes=[
             f"fitted burst tail alpha = {analysis.alpha:.3f} "
             f"(n_bursts = {analysis.n_bursts})",
@@ -46,16 +51,19 @@ def _panel(trace, panel_id, title) -> ExperimentResult:
     )
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     return [
-        _panel(
+        _panel_spec(
             eval_trace(scale, seed),
             "fig07a",
             f"1-burst CCDF, synthetic trace (eps={EPSILON})",
         ),
-        _panel(
+        _panel_spec(
             real_trace(scale, seed),
             "fig07b",
             f"1-burst CCDF, Bell-Labs-like trace (eps={EPSILON})",
         ),
     ]
+
+
+run = make_run(build_specs)

@@ -16,24 +16,28 @@ from repro.experiments.config import (
     pareto_trace,
     real_trace,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 
-def _panel(trace, panel_id, title, target_alpha) -> ExperimentResult:
+def _panel_spec(trace, panel_id, title, target_alpha) -> SweepSpec:
     values = trace.values
     fit = fit_pareto_ccdf(values, tail_fraction=0.5)
     x, p = empirical_ccdf(values)
     idx = np.unique(np.round(np.geomspace(1, x.size, 15)).astype(np.int64) - 1)
     fitted = fit.distribution.ccdf(x[idx])
-    return ExperimentResult(
-        experiment_id=panel_id,
+    return SweepSpec(
+        panel_id=panel_id,
         title=title,
         x_name="f_value",
-        x_values=[round(float(v), 3) for v in x[idx]],
-        series={
-            "measured_ccdf": [round(float(v), 7) for v in p[idx]],
-            "fitted_pareto": [round(float(v), 7) for v in fitted],
-        },
+        x_values=tuple(round(float(v), 3) for v in x[idx]),
+        series=(
+            ColumnSeries(
+                "measured_ccdf", [round(float(v), 7) for v in p[idx]]
+            ),
+            ColumnSeries(
+                "fitted_pareto", [round(float(v), 7) for v in fitted]
+            ),
+        ),
         notes=[
             f"fitted alpha = {fit.alpha:.3f} (paper: {target_alpha})",
             f"fit R^2 = {fit.fit.r_squared:.4f}",
@@ -41,18 +45,21 @@ def _panel(trace, panel_id, title, target_alpha) -> ExperimentResult:
     )
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     return [
-        _panel(
+        _panel_spec(
             pareto_trace(scale, seed),
             "fig08a",
             "marginal CCDF, synthetic trace",
             1.5,
         ),
-        _panel(
+        _panel_spec(
             real_trace(scale, seed),
             "fig08b",
             "marginal CCDF, Bell-Labs-like trace",
             1.71,
         ),
     ]
+
+
+run = make_run(build_specs)

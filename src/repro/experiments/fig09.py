@@ -11,31 +11,37 @@ import numpy as np
 
 from repro.core.parameters import l_surface
 from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 ETAS = (0.1, 0.2, 0.3, 0.4, 0.5)
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     eps_grid = np.round(np.linspace(0.4, 2.0, 17), 3)
     surface = l_surface(ETAS, eps_grid, PARETO_ALPHA)
-    series = {
-        f"eta={eta}": [
-            round(float(v), 3) if np.isfinite(v) else float("nan")
-            for v in surface[i]
-        ]
+    columns = tuple(
+        ColumnSeries(
+            f"eta={eta}",
+            [
+                round(float(v), 3) if np.isfinite(v) else float("nan")
+                for v in surface[i]
+            ],
+        )
         for i, eta in enumerate(ETAS)
-    }
+    )
     eps1 = (PARETO_ALPHA - 1.0) / PARETO_ALPHA
-    return ExperimentResult(
-        experiment_id="fig09",
+    return SweepSpec(
+        panel_id="fig09",
         title=f"L(eta, eps) from Eq. 23 (alpha={PARETO_ALPHA})",
         x_name="eps",
-        x_values=[float(e) for e in eps_grid],
-        series=series,
+        x_values=tuple(float(e) for e in eps_grid),
+        series=columns,
         notes=[
             f"infeasible boundary eps1 = (alpha-1)/alpha = {eps1:.3f} "
             "(NaN cells below it)",
             "L increases with eta and explodes as eps -> eps1+",
         ],
     )
+
+
+run = make_run(build_specs)

@@ -11,19 +11,19 @@ import numpy as np
 from repro.core.parameters import epsilon_roots, xi_surface
 from repro.errors import DesignError
 from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 LS = (1, 2, 5, 8, 10)
 BASELINE_ETA = 0.148  # the synthetic baseline implied by Fig. 12's settings
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     eps_grid = np.round(np.linspace(0.2, 3.0, 15), 3)
     surface = xi_surface(LS, eps_grid, PARETO_ALPHA, baseline_eta=BASELINE_ETA)
-    series = {
-        f"L={L}": [round(float(v), 4) for v in surface[i]]
+    columns = tuple(
+        ColumnSeries(f"L={L}", [round(float(v), 4) for v in surface[i]])
         for i, L in enumerate(LS)
-    }
+    )
     notes = []
     for L in LS:
         try:
@@ -33,14 +33,17 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
             )
         except DesignError:
             notes.append(f"L={L}: no unbiased eps for eta={BASELINE_ETA}")
-    return ExperimentResult(
-        experiment_id="fig10",
+    return SweepSpec(
+        panel_id="fig10",
         title=(
             f"xi(L, eps) surface (alpha={PARETO_ALPHA}, "
             f"baseline eta={BASELINE_ETA})"
         ),
         x_name="eps",
-        x_values=[float(e) for e in eps_grid],
-        series=series,
+        x_values=tuple(float(e) for e in eps_grid),
+        series=columns,
         notes=notes,
     )
+
+
+run = make_run(build_specs)

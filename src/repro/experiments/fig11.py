@@ -10,28 +10,31 @@ import numpy as np
 
 from repro.core.parameters import epsilon_roots, xi_bias
 from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import CellSeries, SweepSpec, make_run
 
 L = 5
 BASELINE_ETA = 0.1
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def _xi(ctx, eps: float) -> float:
+    return xi_bias(L, float(eps), PARETO_ALPHA, baseline_eta=BASELINE_ETA)
+
+
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     eps_grid = np.round(np.linspace(0.1, 3.0, 30), 3)
-    xi = [
-        round(xi_bias(L, float(e), PARETO_ALPHA, baseline_eta=BASELINE_ETA), 4)
-        for e in eps_grid
-    ]
     eps1, eps2 = epsilon_roots(L, PARETO_ALPHA, BASELINE_ETA)
-    return ExperimentResult(
-        experiment_id="fig11",
+    return SweepSpec(
+        panel_id="fig11",
         title=f"xi(eps) slice at L={L} (alpha={PARETO_ALPHA}, eta={BASELINE_ETA})",
         x_name="eps",
-        x_values=[float(e) for e in eps_grid],
-        series={"xi": xi},
+        x_values=tuple(float(e) for e in eps_grid),
+        series=(CellSeries("xi", _xi, round_to=4),),
         notes=[
             f"roots of xi=1: eps1={eps1:.3f} "
             f"(~ (alpha-1)/alpha = {(PARETO_ALPHA-1)/PARETO_ALPHA:.3f}, "
             f"infeasible), eps2={eps2:.3f}",
         ],
     )
+
+
+run = make_run(build_specs)

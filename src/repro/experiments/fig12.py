@@ -10,7 +10,7 @@ knows the trace), so the fixed-threshold BSS mode is used.
 from __future__ import annotations
 
 from repro.core.bss import BiasedSystematicSampler
-from repro.experiments._bss_sweeps import bss_comparison_panel
+from repro.experiments._bss_sweeps import bss_comparison_spec
 from repro.experiments.config import (
     MASTER_SEED,
     SYNTHETIC_RATES,
@@ -18,16 +18,16 @@ from repro.experiments.config import (
     pareto_trace,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import SweepSpec, make_run
 
 SETTINGS = ((10, 2.55), (8, 2.28))
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = pareto_trace(scale, seed)
     rates = usable_rates(SYNTHETIC_RATES, len(trace))
     n_instances = instances(15, scale)
-    panels = []
+    specs = []
     for label, (L, eps) in zip("ab", SETTINGS):
         threshold = eps * trace.mean
 
@@ -36,8 +36,8 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
                 rate, L, threshold=threshold, offset=None
             )
 
-        panels.append(
-            bss_comparison_panel(
+        specs.append(
+            bss_comparison_spec(
                 trace,
                 rates,
                 bss_for_rate,
@@ -51,4 +51,7 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
                 ],
             )
         )
-    return panels
+    return specs
+
+
+run = make_run(build_specs)

@@ -8,7 +8,7 @@ systematic sampling closely.
 from __future__ import annotations
 
 from repro.core.bss import BiasedSystematicSampler
-from repro.experiments._bss_sweeps import bss_comparison_panel
+from repro.experiments._bss_sweeps import bss_comparison_spec
 from repro.experiments.config import (
     MASTER_SEED,
     REAL_RATES,
@@ -16,16 +16,16 @@ from repro.experiments.config import (
     real_trace,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import SweepSpec, make_run
 
 SETTINGS = ((10, 1.809), (8, 1.68))
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = real_trace(scale, seed)
     rates = usable_rates(REAL_RATES, len(trace))
     n_instances = instances(15, scale)
-    panels = []
+    specs = []
     for label, (L, eps) in zip("ab", SETTINGS):
         threshold = eps * trace.mean
 
@@ -34,8 +34,8 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
                 rate, L, threshold=threshold, offset=None
             )
 
-        panels.append(
-            bss_comparison_panel(
+        specs.append(
+            bss_comparison_spec(
                 trace,
                 rates,
                 bss_for_rate,
@@ -45,4 +45,7 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
                 seed=seed,
             )
         )
-    return panels
+    return specs
+
+
+run = make_run(build_specs)

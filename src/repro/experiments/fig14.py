@@ -13,7 +13,7 @@ from scipy.optimize import brentq
 
 from repro.core.parameters import threshold_ratio, xi_bias
 from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import CellSeries, SweepSpec, make_run
 
 XI_LEVELS = (1.17, 1.4, 1.7, 2.0, 2.3)
 LS = tuple(range(1, 11))
@@ -36,18 +36,23 @@ def _eps_for_xi(L: int, xi_target: float) -> float:
     return float(brentq(f, grid[peak], eps_hi))
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
-    series = {}
-    for xi_target in XI_LEVELS:
-        series[f"xi={xi_target}"] = [
-            round(_eps_for_xi(L, xi_target), 4) for L in LS
-        ]
-    return ExperimentResult(
-        experiment_id="fig14",
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
+    return SweepSpec(
+        panel_id="fig14",
         title=f"contours of xi over (L, eps), alpha={PARETO_ALPHA}",
         x_name="L",
-        x_values=list(LS),
-        series=series,
+        x_values=LS,
+        seed=seed,
+        series=tuple(
+            CellSeries(
+                f"xi={xi_target}",
+                lambda ctx, L, xi_target=xi_target: _eps_for_xi(
+                    int(L), xi_target
+                ),
+                round_to=4,
+            )
+            for xi_target in XI_LEVELS
+        ),
         notes=[
             "each cell: the eps (decaying branch) achieving that xi at that L",
             f"max attainable xi at eps*: m grows as eps*alpha/(alpha-1); "
@@ -55,3 +60,6 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
             f"(m at eps=1 is {threshold_ratio(1.0, PARETO_ALPHA):.2f})",
         ],
     )
+
+
+run = make_run(build_specs)

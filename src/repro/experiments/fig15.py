@@ -10,28 +10,31 @@ import numpy as np
 
 from repro.core.parameters import overhead_surface
 from repro.experiments.config import MASTER_SEED, PARETO_ALPHA
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import ColumnSeries, SweepSpec, make_run
 
 LS = (1, 2, 5, 8, 10)
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     eps_grid = np.round(np.linspace(0.3, 3.0, 14), 3)
     surface = overhead_surface(LS, eps_grid, PARETO_ALPHA)
-    series = {
-        f"L={L}": [round(float(v), 4) for v in surface[i]]
+    columns = tuple(
+        ColumnSeries(f"L={L}", [round(float(v), 4) for v in surface[i]])
         for i, L in enumerate(LS)
-    }
+    )
     rocket = surface[:, eps_grid < 0.5]
     tame = surface[:, eps_grid >= 1.0]
-    return ExperimentResult(
-        experiment_id="fig15",
+    return SweepSpec(
+        panel_id="fig15",
         title=f"expected overhead L'/N over (L, eps), alpha={PARETO_ALPHA}",
         x_name="eps",
-        x_values=[float(e) for e in eps_grid],
-        series=series,
+        x_values=tuple(float(e) for e in eps_grid),
+        series=columns,
         notes=[
             f"overhead at eps<0.5 is {rocket.mean() / max(tame.mean(), 1e-12):.0f}x "
             "the eps>=1 regime — the paper's 'avoid small eps' rule",
         ],
     )
+
+
+run = make_run(build_specs)

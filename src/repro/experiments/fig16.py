@@ -17,7 +17,7 @@ from repro.core.bss import BiasedSystematicSampler
 from repro.core.parameters import l_for_xi, threshold_ratio, xi_bias
 from repro.core.systematic import SystematicSampler
 from repro.errors import DesignError
-from repro.experiments._bss_sweeps import bss_comparison_panel
+from repro.experiments._bss_sweeps import bss_comparison_spec
 from repro.experiments.config import (
     MASTER_SEED,
     PARETO_ALPHA,
@@ -26,10 +26,8 @@ from repro.experiments.config import (
     pareto_trace,
     usable_rates,
 )
-from repro.experiments.runner import (
-    ExperimentResult,
-    median_instance_means,
-)
+from repro.experiments.runner import median_instance_means
+from repro.experiments.sweeps import SweepSpec, make_run
 
 L_FIXED = 10
 EPS_FIXED = 1.0
@@ -70,11 +68,16 @@ def l_for_xi_clamped(xi_target: float, eps: float, alpha: float) -> int:
     return max(int(round(l_for_xi(xi_target, eps, alpha))), 0)
 
 
-def build_panels(
+def build_figure_specs(
     trace, rates, alpha, *, tag: str, scale: float, seed: int,
     l_fixed: int = L_FIXED, eps_fixed: float = EPS_FIXED,
     title_prefix: str = "biased BSS, synthetic trace",
-) -> list[ExperimentResult]:
+) -> list[SweepSpec]:
+    """The two biased-BSS panels (fixed L, fixed eps) as sweep specs.
+
+    The per-rate eta measurement is a pre-pass: the sampler factories
+    close over its results, so the specs stay pure functions of the rate.
+    """
     n_instances = instances(15, scale)
     etas = {
         float(r): measured_eta(trace, float(r), n_instances, seed, tag)
@@ -101,24 +104,27 @@ def build_panels(
     eta_note = "measured eta per rate: " + ", ".join(
         f"{r:.0e}:{etas[float(r)]:.3f}" for r in rates
     )
-    panel_a = bss_comparison_panel(
+    spec_a = bss_comparison_spec(
         trace, rates, bss_fixed_l,
         panel_id=f"{tag}a",
         title=f"{title_prefix} (L={l_fixed} fixed, eps tuned)",
         n_instances=n_instances, seed=seed, extra_notes=[eta_note],
     )
-    panel_b = bss_comparison_panel(
+    spec_b = bss_comparison_spec(
         trace, rates, bss_fixed_eps,
         panel_id=f"{tag}b",
         title=f"{title_prefix} (eps={eps_fixed} fixed, L tuned)",
         n_instances=n_instances, seed=seed, extra_notes=[eta_note],
     )
-    return [panel_a, panel_b]
+    return [spec_a, spec_b]
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = pareto_trace(scale, seed)
     rates = usable_rates(SYNTHETIC_RATES, len(trace))
-    return build_panels(
+    return build_figure_specs(
         trace, rates, PARETO_ALPHA, tag="fig16", scale=scale, seed=seed
     )
+
+
+run = make_run(build_specs)

@@ -10,18 +10,17 @@ from repro.experiments.config import (
     MASTER_SEED,
     REAL_ALPHA,
     REAL_RATES,
-    instances,
     real_trace,
     usable_rates,
 )
-from repro.experiments.fig16 import build_panels
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.fig16 import build_figure_specs
+from repro.experiments.sweeps import SweepSpec, make_run
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = real_trace(scale, seed)
     rates = usable_rates(REAL_RATES, len(trace))
-    return build_panels(
+    return build_figure_specs(
         trace,
         rates,
         REAL_ALPHA,
@@ -32,3 +31,6 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
         eps_fixed=1.0,
         title_prefix="biased BSS, Bell-Labs-like trace",
     )
+
+
+run = make_run(build_specs)

@@ -10,7 +10,7 @@ efficiency metric.
 from __future__ import annotations
 
 from repro.core.bss import BiasedSystematicSampler
-from repro.experiments._bss_sweeps import bss_comparison_panel
+from repro.experiments._bss_sweeps import bss_comparison_spec
 from repro.experiments.config import (
     CS_SYNTHETIC,
     EVAL_ALPHA,
@@ -20,13 +20,12 @@ from repro.experiments.config import (
     instances,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import SweepSpec, make_run
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = eval_trace(scale, seed)
     rates = usable_rates(SYNTHETIC_RATES, len(trace))
-    n_instances = instances(15, scale)
 
     def bss_for_rate(rate: float) -> BiasedSystematicSampler:
         return BiasedSystematicSampler.design(
@@ -38,18 +37,22 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
             offset=None,
         )
 
-    panel = bss_comparison_panel(
-        trace,
-        rates,
-        bss_for_rate,
-        panel_id="fig18",
-        title="online-tuned BSS vs systematic vs simple random "
-              "(synthetic, alpha=1.3, mean 5.68)",
-        n_instances=n_instances,
-        seed=seed,
-        extra_notes=[
-            "panel (a) = sampled-mean columns; panel (b) = bss_overhead column",
-            "paper reports overhead ~0.2 on this trace",
-        ],
-    )
-    return [panel]
+    return [
+        bss_comparison_spec(
+            trace,
+            rates,
+            bss_for_rate,
+            panel_id="fig18",
+            title="online-tuned BSS vs systematic vs simple random "
+                  "(synthetic, alpha=1.3, mean 5.68)",
+            n_instances=instances(15, scale),
+            seed=seed,
+            extra_notes=[
+                "panel (a) = sampled-mean columns; panel (b) = bss_overhead column",
+                "paper reports overhead ~0.2 on this trace",
+            ],
+        )
+    ]
+
+
+run = make_run(build_specs)

@@ -7,7 +7,7 @@ Same as Fig. 18 with the real-trace parameters (alpha = 1.71, mean
 from __future__ import annotations
 
 from repro.core.bss import BiasedSystematicSampler
-from repro.experiments._bss_sweeps import bss_comparison_panel
+from repro.experiments._bss_sweeps import bss_comparison_spec
 from repro.experiments.config import (
     CS_REAL,
     MASTER_SEED,
@@ -17,13 +17,12 @@ from repro.experiments.config import (
     real_trace,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.sweeps import SweepSpec, make_run
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     trace = real_trace(scale, seed)
     rates = usable_rates(REAL_RATES, len(trace))
-    n_instances = instances(15, scale)
 
     def bss_for_rate(rate: float) -> BiasedSystematicSampler:
         return BiasedSystematicSampler.design(
@@ -35,15 +34,19 @@ def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
             offset=None,
         )
 
-    panel = bss_comparison_panel(
-        trace,
-        rates,
-        bss_for_rate,
-        panel_id="fig19",
-        title="online-tuned BSS vs systematic vs simple random "
-              "(Bell-Labs-like trace)",
-        n_instances=n_instances,
-        seed=seed,
-        extra_notes=["paper reports overhead ~0.3 on the original trace"],
-    )
-    return [panel]
+    return [
+        bss_comparison_spec(
+            trace,
+            rates,
+            bss_for_rate,
+            panel_id="fig19",
+            title="online-tuned BSS vs systematic vs simple random "
+                  "(Bell-Labs-like trace)",
+            n_instances=instances(15, scale),
+            seed=seed,
+            extra_notes=["paper reports overhead ~0.3 on the original trace"],
+        )
+    ]
+
+
+run = make_run(build_specs)

@@ -23,59 +23,73 @@ from repro.experiments.config import (
     instances,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult, median_instance_means
+from repro.experiments.sweeps import CellSeries, SweepSpec, make_run
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> ExperimentResult:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> SweepSpec:
     trace = eval_trace(scale, seed)
     rates = usable_rates(SYNTHETIC_RATES, len(trace))
-    n_instances = instances(15, scale)
     true_mean = trace.mean
 
-    series: dict[str, list[float]] = {
-        "systematic": [], "proposed": [], "simple_random": [],
-    }
-    for rate in rates:
-        rate = float(rate)
-        n_regular = max(int(rate * len(trace)), 2)
-        samplers = {
-            "systematic": SystematicSampler.from_rate(rate, offset=None),
-            "simple_random": SimpleRandomSampler.from_rate(rate),
-        }
-        # The paper's eta is signed (Eq. 21): e rewards closing the gap
-        # from below and does not penalise a slight overshoot.
-        for name, sampler in samplers.items():
-            sampled = median_instance_means(
-                sampler, trace, n_instances, f"fig20:{name}:{rate}", seed
-            )
-            eta = 1.0 - sampled / true_mean
-            series[name].append(round(efficiency(eta, n_regular), 4))
+    # The paper's eta is signed (Eq. 21): e rewards closing the gap from
+    # below and does not penalise a slight overshoot.
+    def classical(tag, sampler_for_rate):
+        def cell(ctx, rate: float) -> float:
+            n_regular = max(int(rate * len(trace)), 2)
+            sampled = ctx.median_means(sampler_for_rate(rate), tag, rate)
+            return efficiency(1.0 - sampled / true_mean, n_regular)
 
+        return cell
+
+    def proposed(ctx, rate: float) -> float:
         bss = BiasedSystematicSampler.design(
             rate, EVAL_ALPHA, cs=CS_SYNTHETIC, epsilon=1.0,
             total_points=len(trace), offset=None,
         )
-        sampled = median_instance_means(
-            bss, trace, n_instances, f"fig20:bss:{rate}", seed
-        )
-        eta = 1.0 - sampled / true_mean
+        sampled = ctx.median_means(bss, "bss", rate)
         n_total = bss.sample(trace, seed & 0xFFFF).n_samples
-        series["proposed"].append(round(efficiency(eta, max(n_total, 2)), 4))
+        return efficiency(1.0 - sampled / true_mean, max(n_total, 2))
 
-    averages = {name: float(np.mean(vals)) for name, vals in series.items()}
-    gain_sys = averages["proposed"] / averages["systematic"] - 1.0
-    gain_ran = averages["proposed"] / averages["simple_random"] - 1.0
-    return ExperimentResult(
-        experiment_id="fig20",
-        title="efficiency e vs rate (synthetic evaluation trace)",
-        x_name="rate",
-        x_values=[float(r) for r in rates],
-        series=series,
-        notes=[
+    def notes(ctx, columns):
+        averages = {name: float(np.mean(vals)) for name, vals in columns.items()}
+        gain_sys = averages["proposed"] / averages["systematic"] - 1.0
+        gain_ran = averages["proposed"] / averages["simple_random"] - 1.0
+        return [
             "average e: " + ", ".join(
                 f"{k}={v:.3f}" for k, v in averages.items()
             ),
             f"BSS gain vs systematic = {gain_sys:+.1%} (paper: +42%), "
             f"vs simple random = {gain_ran:+.1%} (paper: +23%)",
-        ],
+        ]
+
+    return SweepSpec(
+        panel_id="fig20",
+        title="efficiency e vs rate (synthetic evaluation trace)",
+        x_name="rate",
+        x_values=tuple(float(r) for r in rates),
+        trace=trace,
+        n_instances=instances(15, scale),
+        seed=seed,
+        series=(
+            CellSeries(
+                "systematic",
+                classical(
+                    "systematic",
+                    lambda r: SystematicSampler.from_rate(r, offset=None),
+                ),
+                round_to=4,
+            ),
+            CellSeries("proposed", proposed, round_to=4),
+            CellSeries(
+                "simple_random",
+                classical(
+                    "simple_random", lambda r: SimpleRandomSampler.from_rate(r)
+                ),
+                round_to=4,
+            ),
+        ),
+        notes=notes,
     )
+
+
+run = make_run(build_specs)

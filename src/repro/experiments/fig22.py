@@ -8,6 +8,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.bss import BiasedSystematicSampler
+from repro.core.systematic import SystematicSampler
+from repro.core.variance import instance_means
 from repro.experiments.config import (
     CS_REAL,
     CS_SYNTHETIC,
@@ -21,22 +24,18 @@ from repro.experiments.config import (
     real_trace,
     usable_rates,
 )
-from repro.experiments.runner import ExperimentResult
-from repro.utils.rng import stream_for
+from repro.experiments.sweeps import RowGroup, SweepSpec, make_run
 
 
-def _panel(trace, rates, alpha, cs, panel_id, title, scale, seed):
-    from repro.core.bss import BiasedSystematicSampler
-    from repro.core.systematic import SystematicSampler
-    from repro.core.variance import instance_means
-
+def _panel_spec(trace, rates, alpha, cs, panel_id, title, scale, seed) -> SweepSpec:
     rates = usable_rates(rates, len(trace), min_samples=4)
     n_instances = instances(32, scale)
     true_mean = trace.mean
-    ev_sys, ev_bss, disp_sys, disp_bss = [], [], [], []
-    for rate in rates:
-        rate = float(rate)
-        rng = stream_for(f"{panel_id}:{rate}", seed)
+
+    def cells(ctx, rate: float):
+        # One tagless stream, consumed by both ensembles in order — the
+        # paired comparison shares its randomness deliberately.
+        rng = ctx.stream(None, rate)
         means_sys = instance_means(
             SystematicSampler.from_rate(rate, offset=None),
             trace, n_instances, rng,
@@ -49,43 +48,65 @@ def _panel(trace, rates, alpha, cs, panel_id, title, scale, seed):
         # absorbs BSS's deliberate bias.  Dispersion isolates the claim
         # the paper's Fig. 22 actually makes (the extra samples are taken
         # systematically, so the *spread* across instances matches).
-        ev_sys.append(round(float(np.mean((means_sys - true_mean) ** 2)), 6))
-        ev_bss.append(round(float(np.mean((means_bss - true_mean) ** 2)), 6))
-        disp_sys.append(round(float(means_sys.var()), 6))
-        disp_bss.append(round(float(means_bss.var()), 6))
-    ratio = float(np.median(np.array(ev_bss) / np.maximum(ev_sys, 1e-12)))
-    disp_ratio = float(
-        np.median(np.array(disp_bss) / np.maximum(disp_sys, 1e-12))
-    )
-    return ExperimentResult(
-        experiment_id=panel_id,
-        title=title,
-        x_name="rate",
-        x_values=[float(r) for r in rates],
-        series={
-            "systematic": ev_sys,
-            "proposed": ev_bss,
-            "systematic_dispersion": disp_sys,
-            "proposed_dispersion": disp_bss,
-        },
-        notes=[
+        return {
+            "systematic": float(np.mean((means_sys - true_mean) ** 2)),
+            "proposed": float(np.mean((means_bss - true_mean) ** 2)),
+            "systematic_dispersion": float(means_sys.var()),
+            "proposed_dispersion": float(means_bss.var()),
+        }
+
+    def notes(ctx, columns):
+        ratio = float(np.median(
+            np.array(columns["proposed"])
+            / np.maximum(columns["systematic"], 1e-12)
+        ))
+        disp_ratio = float(np.median(
+            np.array(columns["proposed_dispersion"])
+            / np.maximum(columns["systematic_dispersion"], 1e-12)
+        ))
+        return [
             f"median E(V) ratio BSS/systematic = {ratio:.2f} "
             "(includes BSS's deliberate bias)",
             f"median dispersion ratio = {disp_ratio:.2f} "
             "(paper: curves almost overlap — the mechanism's spread)",
-        ],
+        ]
+
+    return SweepSpec(
+        panel_id=panel_id,
+        title=title,
+        x_name="rate",
+        x_values=tuple(float(r) for r in rates),
+        trace=trace,
+        n_instances=n_instances,
+        seed=seed,
+        series=(
+            RowGroup(
+                names=(
+                    "systematic",
+                    "proposed",
+                    "systematic_dispersion",
+                    "proposed_dispersion",
+                ),
+                fn=cells,
+                round_to=6,
+            ),
+        ),
+        notes=notes,
     )
 
 
-def run(scale: float = 1.0, seed: int = MASTER_SEED) -> list[ExperimentResult]:
+def build_specs(*, scale: float = 1.0, seed: int = MASTER_SEED) -> list[SweepSpec]:
     return [
-        _panel(
+        _panel_spec(
             eval_trace(scale, seed), SYNTHETIC_RATES, EVAL_ALPHA, CS_SYNTHETIC,
             "fig22a", "E(V): BSS vs systematic, synthetic trace", scale, seed,
         ),
-        _panel(
+        _panel_spec(
             real_trace(scale, seed), REAL_RATES, REAL_ALPHA, CS_REAL,
             "fig22b", "E(V): BSS vs systematic, Bell-Labs-like trace",
             scale, seed,
         ),
     ]
+
+
+run = make_run(build_specs)

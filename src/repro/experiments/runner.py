@@ -1,10 +1,18 @@
-"""Experiment result container, shared sweep helpers, and the registry."""
+"""Experiment result container, the ensemble-median helper, and the registry.
+
+Figure panels themselves are declared as :class:`~repro.experiments.sweeps.SweepSpec`
+objects and executed by :func:`repro.experiments.sweeps.run_panel`; this
+module holds what every layer shares — the :class:`ExperimentResult`
+table, the registry mapping figure names to modules, and
+:func:`run_experiment`, the harness entry point that routes a figure run
+through the sharded engine via the session ``workers`` default.
+"""
 
 from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -66,30 +74,6 @@ def median_instance_means(
     rng = stream_for(seed_label, seed)
     means = instance_means(sampler, process, n_instances, rng)
     return float(np.median(means))
-
-
-def mean_sweep(
-    samplers_for_rate: Callable[[float], Mapping[str, Sampler]],
-    process,
-    rates,
-    *,
-    n_instances: int,
-    seed: int,
-    seed_label: str,
-) -> dict[str, list[float]]:
-    """Median sampled mean per rate for a family of samplers.
-
-    ``samplers_for_rate(rate)`` returns the named samplers to compare at
-    that rate (they usually all share the rate).
-    """
-    out: dict[str, list[float]] = {}
-    for rate in rates:
-        for name, sampler in samplers_for_rate(float(rate)).items():
-            value = median_instance_means(
-                sampler, process, n_instances, f"{seed_label}:{name}:{rate}", seed
-            )
-            out.setdefault(name, []).append(value)
-    return out
 
 
 # ----------------------------------------------------------------- registry

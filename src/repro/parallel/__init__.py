@@ -8,13 +8,16 @@ turns every such workload into a sharded computation:
 1. :mod:`~repro.parallel.plan` splits the items into balanced contiguous
    shards;
 2. :mod:`~repro.parallel.executor` runs one picklable worker per shard
-   (``multiprocessing`` with a serial fallback, plus the session-wide
-   ``--workers`` default);
-3. :mod:`~repro.parallel.state` merges per-shard partial states;
-4. :mod:`~repro.parallel.ensembles` exposes the parallel twins of the
+   (``multiprocessing`` with a loud serial fallback, plus the session-wide
+   default from ``--workers`` / the ``REPRO_WORKERS`` env var);
+3. :mod:`~repro.parallel.memory` hands shards a zero-copy
+   :class:`~repro.trace.store.TraceHandle` instead of pickling the trace
+   into every task;
+4. :mod:`~repro.parallel.state` merges per-shard partial states;
+5. :mod:`~repro.parallel.ensembles` exposes the parallel twins of the
    sequential routines, pinned to them by the determinism test-suite
    (exact, or 1e-12 where the reduction order changes);
-5. :mod:`~repro.parallel.streaming` folds the same states over
+6. :mod:`~repro.parallel.streaming` folds the same states over
    bounded-memory chunk streams (including chunked trace files).
 
 ``workers=1`` and ``workers=N`` are bit-for-bit identical for every
@@ -33,11 +36,15 @@ from repro.parallel.ensembles import (
 from repro.parallel.executor import (
     default_workers,
     get_default_workers,
+    pool_start_method,
     resolve_workers,
     run_shards,
     set_default_workers,
+    sharing_enabled,
     suggested_workers,
+    trace_sharing,
 )
+from repro.parallel.memory import shared_values
 from repro.parallel.plan import Shard, ShardPlan
 from repro.parallel.state import (
     AggVarState,
@@ -69,6 +76,10 @@ __all__ = [
     "default_workers",
     "resolve_workers",
     "suggested_workers",
+    "pool_start_method",
+    "trace_sharing",
+    "sharing_enabled",
+    "shared_values",
     # states
     "MergeableState",
     "merge_states",

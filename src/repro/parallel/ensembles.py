@@ -21,6 +21,12 @@ and ``workers=N`` draw identical streams.  Estimator sharding splits the
 *windows/blocks/boxes* of each scale across shards and merges the partial
 states from :mod:`repro.parallel.state`; only the final reduction order
 changes, hence the 1e-12 rows.
+
+Trace arrays never ride in the task tuples: every entry point publishes
+its series once through :func:`repro.parallel.memory.shared_values` and
+hands shards a :class:`~repro.trace.store.TraceHandle`, so a shard
+attaches to the parent's buffer instead of unpickling a copy — the
+workers see the same float64 bits either way.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.core.base import Sampler, series_values
 from repro.core.variance import average_variance, ensemble_means_for_children
 from repro.errors import ParameterError
 from repro.parallel.executor import resolve_workers, run_shards
+from repro.parallel.memory import shared_values
 from repro.parallel.plan import ShardPlan
 from repro.parallel.state import (
     AggVarState,
@@ -40,6 +47,7 @@ from repro.parallel.state import (
     TailHistogramState,
     merge_states,
 )
+from repro.trace.store import resolve_values
 from repro.utils.arrays import as_float_array
 from repro.utils.rng import normalize_rng, spawn_rngs
 from repro.utils.validation import require_int_at_least
@@ -47,12 +55,14 @@ from repro.utils.validation import require_int_at_least
 
 # --------------------------------------------------------------- ensembles
 def _instance_means_partial(
-    sampler: Sampler, values: np.ndarray, children, start: int
+    sampler: Sampler, values_ref, children, start: int
 ) -> EnsembleMeansState:
     """Shard worker: sampled means for one contiguous slice of children."""
     return EnsembleMeansState(
         start=start,
-        means=ensemble_means_for_children(sampler, values, children),
+        means=ensemble_means_for_children(
+            sampler, resolve_values(values_ref), children
+        ),
     )
 
 
@@ -64,7 +74,9 @@ def parallel_instance_means(
     The full child-generator list is spawned in the parent — exactly as
     the serial path spawns it — and sliced contiguously across shards, so
     every instance consumes the same stream it would serially and the
-    concatenated result is bit-identical for any worker count.
+    concatenated result is bit-identical for any worker count.  The
+    series itself crosses to the shards as a
+    :class:`~repro.trace.store.TraceHandle`, never as a pickled copy.
     """
     require_int_at_least("n_instances", n_instances, 1)
     n_workers = resolve_workers(workers)
@@ -72,11 +84,12 @@ def parallel_instance_means(
     children = spawn_rngs(gen, n_instances)
     values = series_values(process)
     plan = ShardPlan.split(n_instances, n_workers)
-    tasks = [
-        (sampler, values, children[shard.start : shard.stop], shard.start)
-        for shard in plan.shards
-    ]
-    partials = run_shards(_instance_means_partial, tasks, workers=n_workers)
+    with shared_values(values, workers=n_workers, n_tasks=plan.n_shards) as ref:
+        tasks = [
+            (sampler, ref, children[shard.start : shard.stop], shard.start)
+            for shard in plan.shards
+        ]
+        partials = run_shards(_instance_means_partial, tasks, workers=n_workers)
     return merge_states(partials).finalize()
 
 
@@ -109,9 +122,10 @@ def _shard_rows(n_rows: int, index: int, n_shards: int) -> tuple[int, int]:
 
 
 def _rs_partial(
-    x: np.ndarray, window_sizes: np.ndarray, index: int, n_shards: int
+    x_ref, window_sizes: np.ndarray, index: int, n_shards: int
 ) -> RSState:
     """Partial R/S sums over this shard's window rows of every size."""
+    x = resolve_values(x_ref)
     finite_sum = np.zeros(len(window_sizes))
     finite_count = np.zeros(len(window_sizes), dtype=np.int64)
     for i, size in enumerate(window_sizes):
@@ -143,15 +157,17 @@ def parallel_rs_statistics(values, window_sizes, *, workers=None) -> np.ndarray:
     x = as_float_array(values, name="values", min_length=16)
     sizes = np.asarray(window_sizes, dtype=np.int64)
     n_shards = n_workers
-    tasks = [(x, sizes, index, n_shards) for index in range(n_shards)]
-    partials = run_shards(_rs_partial, tasks, workers=n_workers)
+    with shared_values(x, workers=n_workers, n_tasks=n_shards) as ref:
+        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
+        partials = run_shards(_rs_partial, tasks, workers=n_workers)
     return merge_states(partials).finalize()
 
 
 def _aggvar_partial(
-    x: np.ndarray, block_sizes: np.ndarray, index: int, n_shards: int
+    x_ref, block_sizes: np.ndarray, index: int, n_shards: int
 ) -> AggVarState:
     """Partial block-mean moments over this shard's blocks of every size."""
+    x = resolve_values(x_ref)
     per_size_means = []
     for m in block_sizes:
         m = int(m)
@@ -179,15 +195,17 @@ def parallel_aggregate_variances(values, block_sizes, *, workers=None) -> np.nda
                 f"series of length {x.size} has no complete block of size {m}"
             )
     n_shards = n_workers
-    tasks = [(x, sizes, index, n_shards) for index in range(n_shards)]
-    partials = run_shards(_aggvar_partial, tasks, workers=n_workers)
+    with shared_values(x, workers=n_workers, n_tasks=n_shards) as ref:
+        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
+        partials = run_shards(_aggvar_partial, tasks, workers=n_workers)
     return merge_states(partials).finalize()
 
 
 def _dfa_partial(
-    profile: np.ndarray, box_sizes: np.ndarray, index: int, n_shards: int
+    profile_ref, box_sizes: np.ndarray, index: int, n_shards: int
 ) -> DFAState:
     """Partial squared-residual sums over this shard's boxes of every size."""
+    profile = resolve_values(profile_ref)
     sq_sum = np.zeros(len(box_sizes))
     n_points = np.zeros(len(box_sizes), dtype=np.int64)
     for i, size in enumerate(box_sizes):
@@ -223,15 +241,25 @@ def parallel_dfa_fluctuations(values, box_sizes, *, workers=None) -> np.ndarray:
     profile = np.cumsum(x - x.mean())
     sizes = np.asarray(box_sizes, dtype=np.int64)
     n_shards = n_workers
-    tasks = [(profile, sizes, index, n_shards) for index in range(n_shards)]
-    partials = run_shards(_dfa_partial, tasks, workers=n_workers)
+    with shared_values(profile, workers=n_workers, n_tasks=n_shards) as ref:
+        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
+        partials = run_shards(_dfa_partial, tasks, workers=n_workers)
     return merge_states(partials).finalize()
 
 
 # ---------------------------------------------------------------- queueing
-def _tail_partial(chunk: np.ndarray, thresholds: np.ndarray) -> TailHistogramState:
-    """Shard worker: exact exceedance counts for one occupancy chunk."""
-    return TailHistogramState.from_values(chunk, thresholds)
+def _tail_partial(
+    q_ref, start: int, stop: int, thresholds: np.ndarray
+) -> TailHistogramState:
+    """Shard worker: exact exceedance counts for one occupancy range.
+
+    The worker slices the shared buffer itself — passing ``[start, stop)``
+    instead of a pre-sliced chunk keeps the parent from materialising (and
+    pickling) one copy per shard.
+    """
+    return TailHistogramState.from_values(
+        resolve_values(q_ref)[start:stop], thresholds
+    )
 
 
 def parallel_tail_probabilities(occupancy, thresholds, *, workers=None) -> np.ndarray:
@@ -244,6 +272,9 @@ def parallel_tail_probabilities(occupancy, thresholds, *, workers=None) -> np.nd
     q = as_float_array(occupancy, name="occupancy")
     thresholds = np.asarray(thresholds, dtype=np.float64)
     plan = ShardPlan.split(q.size, n_workers)
-    tasks = [(q[shard.start : shard.stop], thresholds) for shard in plan.shards]
-    partials = run_shards(_tail_partial, tasks, workers=n_workers)
+    with shared_values(q, workers=n_workers, n_tasks=plan.n_shards) as ref:
+        tasks = [
+            (ref, shard.start, shard.stop, thresholds) for shard in plan.shards
+        ]
+        partials = run_shards(_tail_partial, tasks, workers=n_workers)
     return merge_states(partials).finalize()

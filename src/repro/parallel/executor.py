@@ -8,8 +8,14 @@ a pool — the tasks run in-process, in order, so the serial path is the
 parallel path with a trivial plan, not a separate code branch.
 
 If a pool cannot be created (sandboxed environments without working
-semaphores, platforms without ``fork``), execution silently degrades to
-the serial path: results are identical by construction, only slower.
+semaphores, platforms without ``fork``), execution degrades to the
+serial path — results are identical by construction, only slower — and a
+one-time :class:`RuntimeWarning` names the cause, so a silently serial
+session is diagnosable.
+
+The session default worker count starts at the ``REPRO_WORKERS``
+environment variable (1 when unset); the ``--workers`` CLI flag and the
+:func:`default_workers` context override it for their scope.
 """
 
 from __future__ import annotations
@@ -17,19 +23,60 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import warnings
 
 from repro.errors import ParameterError
 
-#: Session-wide default worker count, set by ``--workers`` at the CLI.
-_DEFAULT_WORKERS = 1
+
+def _validate_workers(workers) -> int:
+    """Reject anything but a genuine positive int (2.5 must not truncate)."""
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParameterError(
+            f"workers must be an int >= 1, got {workers!r} "
+            f"({type(workers).__name__})"
+        )
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _workers_from_env() -> int:
+    """Session default from ``REPRO_WORKERS`` (1 when unset or invalid).
+
+    An unusable value warns instead of raising: an environment variable
+    must never make ``import repro`` fail.
+    """
+    raw = os.environ.get("REPRO_WORKERS")
+    if raw is None:
+        return 1
+    try:
+        return _validate_workers(int(raw))
+    except (ValueError, ParameterError):
+        warnings.warn(
+            f"ignoring REPRO_WORKERS={raw!r}: expected an int >= 1",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+
+
+#: Session-wide default worker count: seeded from ``REPRO_WORKERS``,
+#: overridden by ``--workers`` at the CLI.
+_DEFAULT_WORKERS = _workers_from_env()
+
+#: One-time flag for the pool-failure diagnostic.
+_POOL_FAILURE_WARNED = False
+
+#: When False, parallel entry points skip the zero-copy trace protocol
+#: and dispatch shard arguments by pickling (PR 2 behaviour) — kept as a
+#: benchmark control, toggled via :func:`trace_sharing`.
+_SHARE_TRACES = True
 
 
 def set_default_workers(workers: int) -> None:
     """Set the session default used when a call site passes ``workers=None``."""
     global _DEFAULT_WORKERS
-    if workers < 1:
-        raise ParameterError(f"workers must be >= 1, got {workers}")
-    _DEFAULT_WORKERS = int(workers)
+    _DEFAULT_WORKERS = _validate_workers(workers)
 
 
 def get_default_workers() -> int:
@@ -55,16 +102,62 @@ def resolve_workers(workers: int | None) -> int:
     """Normalise a ``workers`` argument: ``None`` means the session default."""
     if workers is None:
         return get_default_workers()
-    if not isinstance(workers, int) or isinstance(workers, bool):
-        raise ParameterError(f"workers must be an int or None, got {workers!r}")
-    if workers < 1:
-        raise ParameterError(f"workers must be >= 1, got {workers}")
-    return workers
+    return _validate_workers(workers)
 
 
 def suggested_workers() -> int:
     """A sensible ``--workers`` value for this machine (>= 1)."""
     return max(os.cpu_count() or 1, 1)
+
+
+def pool_start_method() -> str:
+    """Start method ``run_shards`` will use for its pools.
+
+    Fork is preferred — it is cheap and lets children inherit the
+    parent's published trace buffers outright (the zero-copy ``inherit``
+    backend); elsewhere the platform default applies and shared memory
+    carries the traces instead.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+@contextlib.contextmanager
+def trace_sharing(enabled: bool):
+    """Temporarily enable/disable the zero-copy trace dispatch protocol.
+
+    With sharing disabled, parallel entry points fall back to pickling
+    trace arrays into every shard (PR 2's dispatch).  Results are
+    identical either way; the toggle exists so benchmarks can measure
+    the copy the protocol removes.
+    """
+    global _SHARE_TRACES
+    previous = _SHARE_TRACES
+    _SHARE_TRACES = bool(enabled)
+    try:
+        yield
+    finally:
+        _SHARE_TRACES = previous
+
+
+def sharing_enabled() -> bool:
+    """Whether parallel entry points publish traces instead of pickling."""
+    return _SHARE_TRACES
+
+
+def _warn_pool_failure(exc: BaseException) -> None:
+    """One-time diagnostic naming why shards are running serially."""
+    global _POOL_FAILURE_WARNED
+    if _POOL_FAILURE_WARNED:
+        return
+    _POOL_FAILURE_WARNED = True
+    warnings.warn(
+        "repro.parallel: could not create a worker pool "
+        f"({type(exc).__name__}: {exc}); shards will run serially in this "
+        "session (results are identical, only slower)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 def run_shards(fn, tasks, *, workers: int | None = None) -> list:
@@ -75,20 +168,23 @@ def run_shards(fn, tasks, *, workers: int | None = None) -> list:
     task, tasks are distributed over a process pool; otherwise — or when a
     pool cannot be created — they run serially in-process.  Exceptions
     raised by ``fn`` propagate to the caller either way.
+
+    Large arrays should not ride in the task tuples: publish them once
+    through :class:`repro.trace.store.TraceStore` and pass the handle —
+    see :func:`repro.parallel.memory.shared_values`.
     """
     tasks = list(tasks)
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
     try:
-        # Prefer fork (cheap, inherits the parent's numpy state) and fall
-        # back to the platform default where fork is unavailable.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        ctx = multiprocessing.get_context(pool_start_method())
         pool = ctx.Pool(processes=min(n_workers, len(tasks)))
-    except (OSError, ValueError, RuntimeError):
-        # No working pool in this environment: degrade to the serial path,
-        # which is bit-for-bit identical by construction.
+    except (OSError, ValueError, RuntimeError, AssertionError) as exc:
+        # No working pool in this environment (missing semaphores, daemonic
+        # parent, ...): degrade to the serial path, which is bit-for-bit
+        # identical by construction — but say so, once.
+        _warn_pool_failure(exc)
         return [fn(*task) for task in tasks]
     with pool:
         return pool.starmap(fn, tasks)

@@ -28,7 +28,8 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.parallel.ensembles import _tail_partial
-from repro.parallel.executor import run_shards
+from repro.parallel.executor import resolve_workers, run_shards
+from repro.parallel.memory import shared_values
 from repro.parallel.state import MomentState, TailHistogramState
 from repro.queueing.simulation import queue_occupancy
 from repro.trace.io import DEFAULT_CHUNK_PACKETS, iter_trace_chunks
@@ -113,12 +114,23 @@ def parallel_chunk_tail_probabilities(
     streamed fold accumulates chunk by chunk are computed chunk-parallel
     when the data is resident.  Counts are integers, so the result is
     bit-identical to both the streamed fold and the whole-array pass.
+    The series is published once and each task carries a chunk's
+    ``[start, stop)`` range, not a slice copy.
     """
+    if chunk_size < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
     thresholds = np.asarray(thresholds, dtype=np.float64)
-    tasks = [(chunk, thresholds) for chunk in chunked(values, chunk_size)]
-    if not tasks:
+    arr = np.asarray(values)
+    if arr.size == 0:
         raise ParameterError("tail probabilities of an empty series")
-    partials = run_shards(_tail_partial, tasks, workers=workers)
+    n_workers = resolve_workers(workers)
+    bounds = [
+        (start, min(start + chunk_size, arr.size))
+        for start in range(0, arr.size, chunk_size)
+    ]
+    with shared_values(arr, workers=n_workers, n_tasks=len(bounds)) as ref:
+        tasks = [(ref, start, stop, thresholds) for start, stop in bounds]
+        partials = run_shards(_tail_partial, tasks, workers=n_workers)
     state = TailHistogramState.empty(thresholds.size)
     for partial in partials:
         state = state.merge(partial)

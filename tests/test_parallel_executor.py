@@ -1,0 +1,109 @@
+"""Executor configuration satellites: env default, strict ints, loud fallback."""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+
+import pytest
+
+import repro.parallel.executor as executor
+from repro.errors import ParameterError
+from repro.parallel import (
+    default_workers,
+    pool_start_method,
+    resolve_workers,
+    run_shards,
+    set_default_workers,
+    sharing_enabled,
+    trace_sharing,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestEnvDefault:
+    def test_unset_means_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert executor._workers_from_env() == 1
+
+    def test_valid_value_honoured(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert executor._workers_from_env() == 6
+
+    @pytest.mark.parametrize("raw", ["zero", "2.5", "0", "-3", ""])
+    def test_invalid_value_warns_and_falls_back(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert executor._workers_from_env() == 1
+
+    def test_cli_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        monkeypatch.setattr(executor, "_DEFAULT_WORKERS", executor._workers_from_env())
+        assert resolve_workers(None) == 6
+        with default_workers(2):  # what --workers routes through
+            assert resolve_workers(None) == 2
+        assert resolve_workers(None) == 6
+
+
+class TestStrictIntWorkers:
+    @pytest.mark.parametrize("bad", [2.5, 1.0, "3", True, False])
+    def test_set_default_workers_rejects_non_int(self, bad):
+        with pytest.raises(ParameterError, match="workers"):
+            set_default_workers(bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "3", True])
+    def test_default_workers_context_rejects_non_int(self, bad):
+        with pytest.raises(ParameterError, match="workers"):
+            with default_workers(bad):
+                pass  # pragma: no cover
+
+    @pytest.mark.parametrize("bad", [2.5, 1.5, "4", True])
+    def test_resolve_workers_rejects_non_int(self, bad):
+        with pytest.raises(ParameterError, match="workers"):
+            resolve_workers(bad)
+
+    def test_genuine_ints_accepted(self):
+        assert resolve_workers(3) == 3
+        with default_workers(2):
+            assert resolve_workers(None) == 2
+
+
+class TestLoudSerialFallback:
+    def test_pool_failure_warns_once_naming_cause(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise OSError("semaphores unavailable in sandbox")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_pool)
+        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="semaphores unavailable"):
+            assert run_shards(_double, [(1,), (2,)], workers=2) == [2, 4]
+        # Second failure in the same session is silent (one-time warning).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run_shards(_double, [(3,), (4,)], workers=2) == [6, 8]
+
+    def test_serial_path_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert run_shards(_double, [(5,)], workers=4) == [10]
+
+
+class TestSharingToggle:
+    def test_default_on_and_restored(self):
+        assert sharing_enabled()
+        with trace_sharing(False):
+            assert not sharing_enabled()
+        assert sharing_enabled()
+
+    def test_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with trace_sharing(False):
+                raise RuntimeError("boom")
+        assert sharing_enabled()
+
+
+def test_pool_start_method_is_real():
+    assert pool_start_method() in multiprocessing.get_all_start_methods()
