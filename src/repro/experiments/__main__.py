@@ -4,16 +4,24 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
-    python -m repro.experiments run all   [--scale 0.25]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR3.json]
+    python -m repro.experiments run all   [--scale 0.25] [--runtime persistent]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR4.json]
+    python -m repro.experiments runtime
 
 ``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
 which sets the session default; results never depend on either.
+``run --runtime persistent`` (or ``REPRO_RUNTIME=persistent``) keeps one
+worker pool alive across every figure instead of forking per parallel
+region — same outputs, less fixed overhead for many-figure sweeps.  The
+``runtime`` subcommand prints the parallel configuration this machine
+and environment would run with.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 import time
 
@@ -37,6 +45,17 @@ def main(argv=None) -> int:
                         help="shard ensembles over N worker processes "
                              "(results are identical for any N; overrides "
                              "the REPRO_WORKERS env default)")
+    runner.add_argument("--runtime", choices=("persistent", "fresh"),
+                        default=None,
+                        help="'persistent' reuses one worker pool across "
+                             "every figure (amortizes fork); 'fresh' forks "
+                             "per parallel region.  Results are identical; "
+                             "default comes from REPRO_RUNTIME (else fresh)")
+    sub.add_parser(
+        "runtime",
+        help="show the parallel runtime configuration for this "
+             "machine/session",
+    )
     bench = sub.add_parser(
         "bench",
         help="time the vectorized hot paths against their reference loops",
@@ -44,7 +63,7 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR3.json)")
+                       help="JSON report path (default BENCH_PR4.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,
@@ -55,6 +74,25 @@ def main(argv=None) -> int:
     if args.command == "list":
         for name in available_experiments():
             print(name)
+        return 0
+
+    if args.command == "runtime":
+        from repro.parallel import (
+            get_default_workers,
+            pool_start_method,
+            sharing_enabled,
+            suggested_workers,
+        )
+        from repro.parallel.runtime import runtime_mode_from_env
+
+        print(f"cpu_count:          {os.cpu_count()}")
+        print(f"suggested_workers:  {suggested_workers()}")
+        print(f"pool_start_method:  {pool_start_method()}")
+        print(f"default_workers:    {get_default_workers()} "
+              f"(REPRO_WORKERS={os.environ.get('REPRO_WORKERS', 'unset')})")
+        print(f"runtime_mode:       {runtime_mode_from_env()} "
+              f"(REPRO_RUNTIME={os.environ.get('REPRO_RUNTIME', 'unset')})")
+        print(f"trace_sharing:      {'on' if sharing_enabled() else 'off'}")
         return 0
 
     if args.command == "bench":
@@ -71,17 +109,25 @@ def main(argv=None) -> int:
             bench_argv.extend(["--workers", str(args.workers)])
         return bench_main(bench_argv)
 
+    from repro.parallel.runtime import pool_runtime, runtime_mode_from_env
+
+    mode = args.runtime or runtime_mode_from_env()
+    scope = pool_runtime() if mode == "persistent" else contextlib.nullcontext()
     names = available_experiments() if args.name == "all" else [args.name]
-    for name in names:
-        start = time.perf_counter()
-        panels = run_experiment(
-            name, scale=args.scale, seed=args.seed, workers=args.workers
-        )
-        elapsed = time.perf_counter() - start
-        for panel in panels:
-            print(panel.render())
-            print()
-        print(f"[{name}] completed in {elapsed:.1f}s\n")
+    with scope:
+        # A persistent scope keeps one pool alive across *all* requested
+        # figures — the fork cost is paid once per session, not per
+        # figure (and not per panel cell).  Outputs are identical.
+        for name in names:
+            start = time.perf_counter()
+            panels = run_experiment(
+                name, scale=args.scale, seed=args.seed, workers=args.workers
+            )
+            elapsed = time.perf_counter() - start
+            for panel in panels:
+                print(panel.render())
+                print()
+            print(f"[{name}] completed in {elapsed:.1f}s\n")
     return 0
 
 

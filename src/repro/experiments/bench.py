@@ -9,25 +9,32 @@ stdlib ``time.perf_counter`` is the only timing dependency.
 
 Entry points
 ------------
-* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR3.json]``
+* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR4.json]``
 * ``python benchmarks/perf/run.py`` (same flags)
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR3.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR4.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
 records the scaling rows in the report.  Every run also records the
-shard-dispatch comparison: the zero-copy shared-trace protocol against
-PR 2's pickled-copy dispatch on the BSS heavy-trigger regime.
+engine's dispatch-overhead comparisons: zero-copy shared traces vs
+PR 2's pickled copies, the persistent pool runtime vs a fresh fork per
+call, pipelined vs synchronous streaming ingest, and joint vs per-scale
+estimator shard layouts.  The JSON header carries machine metadata
+(CPU count, platform, pool start method) so cross-machine ``BENCH_*``
+comparisons are interpretable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import tempfile
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -48,19 +55,23 @@ from repro.hurst.rs import (
     rs_statistics,
 )
 from repro.parallel.ensembles import parallel_rs_statistics
-from repro.parallel.executor import trace_sharing
+from repro.parallel.executor import pool_start_method, resolve_workers, trace_sharing
+from repro.parallel.runtime import pool_runtime
+from repro.parallel.streaming import streamed_trace_size_moments
 from repro.queueing.simulation import (
     _reference_tail_probabilities,
     queue_occupancy,
     tail_probabilities,
 )
+from repro.trace.io import write_binary
+from repro.trace.packet import PacketTrace
 from repro.traffic.synthetic import fgn_trace, synthetic_trace
 
 #: Master seed for every benchmark workload.
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR3.json"
+DEFAULT_OUTPUT = "BENCH_PR4.json"
 
 
 @dataclass(frozen=True)
@@ -120,8 +131,9 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
     appends parallel-scaling rows comparing the sharded ensemble engine
     at ``workers=N`` against the identical computation at ``workers=1``.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    # Same strict contract as every other parallel entry point: a genuine
+    # int >= 1 or ParameterError (None means the session default).
+    workers = resolve_workers(workers)
     sampler_n = 1 << 17 if quick else 1 << 20
     estimator_n = 1 << 15 if quick else 1 << 19
     repeats = 2 if quick else 3
@@ -261,32 +273,123 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
             lambda n_workers=n_workers: _bss_dispatch_pickled(n_workers),
             repeats=repeats, workers=n_workers,
         ))
+
+    # --- persistent pool runtime: amortized fork across a many-call sweep
+    # PR 4's tentpole: a figure sweep is many small parallel calls, and
+    # with traces zero-copy the fixed cost left is forking a pool per
+    # call.  The 'vectorized' side runs the sweep inside pool_runtime()
+    # (one fork, reused across every call and repeat); the 'reference'
+    # side is the fresh-pool-per-call PR 3 path.  Results are
+    # bit-identical; workers=1 never creates a pool on either side, so
+    # its speedup ~1 is the control.
+    sweep_series = fgn_trace(1 << 15 if quick else 1 << 17, seed + 3).values
+    sweep_sizes = default_window_sizes(sweep_series.size)
+    n_sweep_calls = 4 if quick else 8
+
+    def _sweep(n_workers: int):
+        for __ in range(n_sweep_calls):
+            parallel_rs_statistics(sweep_series, sweep_sizes, workers=n_workers)
+
+    for n_workers in sorted({1, workers}):
+        with pool_runtime():
+            reused_s = _best_of(lambda: _sweep(n_workers), repeats)
+        fresh_s = _best_of(lambda: _sweep(n_workers), repeats)
+        results.append(BenchResult(
+            name=f"pool_reuse_vs_fork_per_call_w{n_workers}",
+            n=sweep_series.size, vectorized_s=reused_s, reference_s=fresh_s,
+            workers=n_workers,
+        ))
+
+    # --- streaming ingest: double-buffered chunk prefetch vs synchronous
+    # One packet trace on disk, folded to size moments chunk by chunk.
+    # The pipelined side parses chunk N+1 on a reader thread while chunk
+    # N reduces (file reads and numpy reductions both release the GIL);
+    # the sync side is PR 2's sequential read-then-reduce loop.  Results
+    # are identical — only the overlap differs.
+    rng = np.random.default_rng(seed + 4)
+    n_packets = 1 << 17 if quick else 1 << 20
+    packet_trace = PacketTrace(
+        timestamps=np.cumsum(rng.exponential(1e-3, n_packets)),
+        sources=rng.integers(0, 256, n_packets, dtype=np.uint32),
+        destinations=rng.integers(0, 256, n_packets, dtype=np.uint32),
+        sizes=np.minimum(40 + rng.pareto(1.2, n_packets) * 100, 1500).astype(
+            np.uint32
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        trace_path = Path(tmp) / "ingest.rpt"
+        write_binary(packet_trace, trace_path)
+        chunk_packets = 1 << 16
+        results.append(_time_pair(
+            "streamed_ingest_pipelined_vs_sync", n_packets,
+            lambda: streamed_trace_size_moments(
+                trace_path, chunk_size=chunk_packets, pipelined=True),
+            lambda: streamed_trace_size_moments(
+                trace_path, chunk_size=chunk_packets, pipelined=False),
+            repeats=repeats,
+        ))
+
+    # --- estimator shard layout: joint (scale x window) vs per-scale
+    # A many-scale R/S grid whose largest scales hold only a couple of
+    # windows: the per-scale layout starves most shards there, the joint
+    # plan cuts one global cost line into equal-cost segments.  On one
+    # core both layouts do identical work (~1.0x); the row records the
+    # balance win on multi-core machines.  workers=1 is the control.
+    grid_sizes = np.unique(
+        np.geomspace(8, est.size // 2, 48).astype(np.int64)
+    )
+    for n_workers in sorted({1, workers}):
+        results.append(_time_pair(
+            f"estimator_shard_joint_vs_per_scale_w{n_workers}", est.size,
+            lambda n_workers=n_workers: parallel_rs_statistics(
+                est, grid_sizes, workers=n_workers, layout="joint"),
+            lambda n_workers=n_workers: parallel_rs_statistics(
+                est, grid_sizes, workers=n_workers, layout="per-scale"),
+            repeats=repeats, workers=n_workers,
+        ))
     return results
 
 
 def render_results(results) -> str:
     """Plain-text table of benchmark results."""
     lines = [
-        f"{'case':<28} {'n':>9} {'vectorized':>12} {'reference':>12} {'speedup':>8}",
-        "-" * 74,
+        f"{'case':<38} {'n':>9} {'vectorized':>12} {'reference':>12} {'speedup':>8}",
+        "-" * 84,
     ]
     for r in results:
         lines.append(
-            f"{r.name:<28} {r.n:>9} {r.vectorized_s * 1e3:>10.2f}ms "
+            f"{r.name:<38} {r.n:>9} {r.vectorized_s * 1e3:>10.2f}ms "
             f"{r.reference_s * 1e3:>10.2f}ms {r.speedup:>7.1f}x"
         )
     return "\n".join(lines)
 
 
+def machine_metadata() -> dict:
+    """What a reader needs to interpret this machine's numbers.
+
+    Recorded in every report header: parallel-scaling rows measured on a
+    single-core container say something entirely different from the same
+    rows on a 16-core box, and the pool start method decides which
+    zero-copy backend the dispatch rows exercised.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "start_method": pool_start_method(),
+    }
+
+
 def write_report(results, path, *, quick: bool, seed: int, workers: int = 1) -> None:
     """Write the JSON perf-trajectory record."""
     payload = {
-        "schema": "repro-bench v2",
+        "schema": "repro-bench v3",
         "mode": "quick" if quick else "full",
         "seed": seed,
         "workers": workers,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "machine": machine_metadata(),
         "results": [r.to_dict() for r in results],
     }
     with open(path, "w", encoding="utf-8") as fh:

@@ -305,8 +305,12 @@ def _eval_rows(spec: SweepSpec, ctx: SweepContext) -> list[dict]:
         previous = _ACTIVE
         _ACTIVE = (spec, ctx)
         try:
+            # Row workers read the spec from this module global via fork
+            # inheritance, so they need a pool forked *now* — a session's
+            # persistent pool predates the global and must not serve them.
             return run_shards(
-                _row_worker, [(i,) for i in range(n)], workers=n_workers
+                _row_worker, [(i,) for i in range(n)],
+                workers=n_workers, fresh_pool=True,
             )
         finally:
             _ACTIVE = previous

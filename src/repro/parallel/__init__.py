@@ -9,7 +9,10 @@ turns every such workload into a sharded computation:
    shards;
 2. :mod:`~repro.parallel.executor` runs one picklable worker per shard
    (``multiprocessing`` with a loud serial fallback, plus the session-wide
-   default from ``--workers`` / the ``REPRO_WORKERS`` env var);
+   default from ``--workers`` / the ``REPRO_WORKERS`` env var), reusing
+   the session's persistent pool when a
+   :mod:`~repro.parallel.runtime` scope is active instead of forking one
+   per call;
 3. :mod:`~repro.parallel.memory` hands shards a zero-copy
    :class:`~repro.trace.store.TraceHandle` instead of pickling the trace
    into every task;
@@ -45,7 +48,15 @@ from repro.parallel.executor import (
     trace_sharing,
 )
 from repro.parallel.memory import shared_values
-from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.plan import JointPlan, ScaleSlice, Shard, ShardPlan
+from repro.parallel.runtime import (
+    PoolRuntime,
+    PoolUnavailableError,
+    active_runtime,
+    pool_runtime,
+    start_runtime,
+    stop_runtime,
+)
 from repro.parallel.state import (
     AggVarState,
     DFAState,
@@ -59,6 +70,7 @@ from repro.parallel.state import (
 from repro.parallel.streaming import (
     chunked,
     parallel_chunk_tail_probabilities,
+    prefetch_chunks,
     streamed_moments,
     streamed_queue_tail_probabilities,
     streamed_tail_probabilities,
@@ -69,6 +81,15 @@ __all__ = [
     # plan
     "Shard",
     "ShardPlan",
+    "ScaleSlice",
+    "JointPlan",
+    # runtime
+    "PoolRuntime",
+    "PoolUnavailableError",
+    "pool_runtime",
+    "start_runtime",
+    "stop_runtime",
+    "active_runtime",
     # executor
     "run_shards",
     "set_default_workers",
@@ -98,6 +119,7 @@ __all__ = [
     "parallel_tail_probabilities",
     # streaming
     "chunked",
+    "prefetch_chunks",
     "streamed_moments",
     "streamed_tail_probabilities",
     "streamed_queue_tail_probabilities",

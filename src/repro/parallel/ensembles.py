@@ -38,7 +38,7 @@ from repro.core.variance import average_variance, ensemble_means_for_children
 from repro.errors import ParameterError
 from repro.parallel.executor import resolve_workers, run_shards
 from repro.parallel.memory import shared_values
-from repro.parallel.plan import ShardPlan
+from repro.parallel.plan import JointPlan, ShardPlan
 from repro.parallel.state import (
     AggVarState,
     DFAState,
@@ -114,6 +114,23 @@ def parallel_average_variance(
 
 
 # -------------------------------------------------------------- estimators
+#: Estimator shard layouts.  ``joint`` lays every scale's rows on one
+#: global cost line and cuts it into equal-cost segments
+#: (:class:`~repro.parallel.plan.JointPlan`) — the default, since
+#: many-scale grids starve shards at large scales otherwise.
+#: ``per-scale`` is PR 2's layout (each scale's rows split across every
+#: shard), kept as the benchmark control.
+_LAYOUTS = ("joint", "per-scale")
+
+
+def _validate_layout(layout: str) -> str:
+    if layout not in _LAYOUTS:
+        raise ParameterError(
+            f"layout must be one of {_LAYOUTS}, got {layout!r}"
+        )
+    return layout
+
+
 def _shard_rows(n_rows: int, index: int, n_shards: int) -> tuple[int, int]:
     """Rows [lo, hi) of shard ``index`` out of ``n_shards`` (balanced)."""
     lo = (n_rows * index) // n_shards
@@ -121,10 +138,55 @@ def _shard_rows(n_rows: int, index: int, n_shards: int) -> tuple[int, int]:
     return lo, hi
 
 
+def _run_sharded_estimator(
+    x: np.ndarray,
+    sizes: np.ndarray,
+    *,
+    workers: int,
+    layout: str,
+    per_scale_fn,
+    joint_fn,
+    row_counts,
+    row_costs,
+    empty_state,
+):
+    """Shared dispatch for the three estimator entry points.
+
+    ``per-scale`` dispatches one task per shard index (each task walks
+    every scale); ``joint`` splits the (scale × rows) grid on one cost
+    line via :class:`JointPlan` and dispatches each shard's explicit
+    ``(scale, lo, hi)`` assignments.  ``empty_state`` finalizes the
+    all-degenerate case (no rows anywhere) without touching a pool.
+    """
+    if layout == "per-scale":
+        n_shards = workers
+        with shared_values(x, workers=workers, n_tasks=n_shards) as ref:
+            tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
+            partials = run_shards(per_scale_fn, tasks, workers=workers)
+        return merge_states(partials).finalize()
+    plan = JointPlan.split(row_counts, row_costs, workers)
+    if plan.n_shards == 0:
+        return empty_state.finalize()
+    with shared_values(x, workers=workers, n_tasks=plan.n_shards) as ref:
+        tasks = [(ref, sizes, shard) for shard in plan.tasks()]
+        partials = run_shards(joint_fn, tasks, workers=workers)
+    return merge_states(partials).finalize()
+
+
+def _rs_rows(x: np.ndarray, size: int, lo: int, hi: int) -> tuple[float, int]:
+    """R/S sum and finite count over window rows ``[lo, hi)`` of one size."""
+    windows = x[lo * size : hi * size].reshape(hi - lo, size)
+    std = windows.std(axis=1)
+    deviations = np.cumsum(windows - windows.mean(axis=1)[:, None], axis=1)
+    spans = deviations.max(axis=1) - deviations.min(axis=1)
+    keep = std != 0
+    return float((spans[keep] / std[keep]).sum()), int(keep.sum())
+
+
 def _rs_partial(
     x_ref, window_sizes: np.ndarray, index: int, n_shards: int
 ) -> RSState:
-    """Partial R/S sums over this shard's window rows of every size."""
+    """Per-scale layout: this shard's window rows of every size."""
     x = resolve_values(x_ref)
     finite_sum = np.zeros(len(window_sizes))
     finite_count = np.zeros(len(window_sizes), dtype=np.int64)
@@ -136,52 +198,83 @@ def _rs_partial(
         lo, hi = _shard_rows(n_windows, index, n_shards)
         if hi <= lo:
             continue
-        windows = x[lo * size : hi * size].reshape(hi - lo, size)
-        std = windows.std(axis=1)
-        deviations = np.cumsum(windows - windows.mean(axis=1)[:, None], axis=1)
-        spans = deviations.max(axis=1) - deviations.min(axis=1)
-        keep = std != 0
-        finite_sum[i] = (spans[keep] / std[keep]).sum()
-        finite_count[i] = int(keep.sum())
+        finite_sum[i], finite_count[i] = _rs_rows(x, size, lo, hi)
     return RSState(finite_sum=finite_sum, finite_count=finite_count)
 
 
-def parallel_rs_statistics(values, window_sizes, *, workers=None) -> np.ndarray:
+def _rs_joint_partial(x_ref, window_sizes: np.ndarray, assignments) -> RSState:
+    """Joint layout: the ``(scale, lo, hi)`` row ranges this shard owns."""
+    x = resolve_values(x_ref)
+    finite_sum = np.zeros(len(window_sizes))
+    finite_count = np.zeros(len(window_sizes), dtype=np.int64)
+    for i, lo, hi in assignments:
+        finite_sum[i], finite_count[i] = _rs_rows(x, int(window_sizes[i]), lo, hi)
+    return RSState(finite_sum=finite_sum, finite_count=finite_count)
+
+
+def parallel_rs_statistics(
+    values, window_sizes, *, workers=None, layout: str = "joint"
+) -> np.ndarray:
     """Sharded twin of :func:`repro.hurst.rs.rs_statistics`.
 
-    Windows of each size are split across shards; degenerate sizes (no
-    complete window, or size < 2) finalize to NaN exactly as the
-    sequential path reports them.
+    Windows are split across shards — jointly over the (scale × window)
+    grid by default, or within each scale with ``layout="per-scale"``;
+    degenerate sizes (no complete window, or size < 2) finalize to NaN
+    exactly as the sequential path reports them.
     """
+    _validate_layout(layout)
     n_workers = resolve_workers(workers)
     x = as_float_array(values, name="values", min_length=16)
     sizes = np.asarray(window_sizes, dtype=np.int64)
-    n_shards = n_workers
-    with shared_values(x, workers=n_workers, n_tasks=n_shards) as ref:
-        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
-        partials = run_shards(_rs_partial, tasks, workers=n_workers)
-    return merge_states(partials).finalize()
+    return _run_sharded_estimator(
+        x, sizes, workers=n_workers, layout=layout,
+        per_scale_fn=_rs_partial, joint_fn=_rs_joint_partial,
+        row_counts=[x.size // int(s) if int(s) >= 2 else 0 for s in sizes],
+        row_costs=[max(int(s), 1) for s in sizes],
+        empty_state=RSState(
+            finite_sum=np.zeros(sizes.size),
+            finite_count=np.zeros(sizes.size, dtype=np.int64),
+        ),
+    )
+
+
+def _aggvar_rows(x: np.ndarray, m: int, lo: int, hi: int) -> np.ndarray:
+    """Block means of blocks ``[lo, hi)`` at aggregation level ``m``."""
+    return x[lo * m : hi * m].reshape(hi - lo, m).mean(axis=1)
 
 
 def _aggvar_partial(
     x_ref, block_sizes: np.ndarray, index: int, n_shards: int
 ) -> AggVarState:
-    """Partial block-mean moments over this shard's blocks of every size."""
+    """Per-scale layout: this shard's blocks of every size."""
     x = resolve_values(x_ref)
     per_size_means = []
     for m in block_sizes:
         m = int(m)
-        n_blocks = x.size // m
-        lo, hi = _shard_rows(n_blocks, index, n_shards)
+        lo, hi = _shard_rows(x.size // m, index, n_shards)
         if hi <= lo:
             per_size_means.append(np.empty(0))
             continue
-        per_size_means.append(x[lo * m : hi * m].reshape(hi - lo, m).mean(axis=1))
+        per_size_means.append(_aggvar_rows(x, m, lo, hi))
     return AggVarState.from_block_means(per_size_means)
 
 
-def parallel_aggregate_variances(values, block_sizes, *, workers=None) -> np.ndarray:
+def _aggvar_joint_partial(
+    x_ref, block_sizes: np.ndarray, assignments
+) -> AggVarState:
+    """Joint layout: the ``(scale, lo, hi)`` block ranges this shard owns."""
+    x = resolve_values(x_ref)
+    per_size_means = [np.empty(0)] * len(block_sizes)
+    for i, lo, hi in assignments:
+        per_size_means[i] = _aggvar_rows(x, int(block_sizes[i]), lo, hi)
+    return AggVarState.from_block_means(per_size_means)
+
+
+def parallel_aggregate_variances(
+    values, block_sizes, *, workers=None, layout: str = "joint"
+) -> np.ndarray:
     """Sharded twin of :func:`repro.hurst.aggvar.aggregate_variances`."""
+    _validate_layout(layout)
     n_workers = resolve_workers(workers)
     x = as_float_array(values, name="values", min_length=4)
     sizes = np.asarray(block_sizes, dtype=np.int64)
@@ -194,17 +287,37 @@ def parallel_aggregate_variances(values, block_sizes, *, workers=None) -> np.nda
             raise ParameterError(
                 f"series of length {x.size} has no complete block of size {m}"
             )
-    n_shards = n_workers
-    with shared_values(x, workers=n_workers, n_tasks=n_shards) as ref:
-        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
-        partials = run_shards(_aggvar_partial, tasks, workers=n_workers)
-    return merge_states(partials).finalize()
+    return _run_sharded_estimator(
+        x, sizes, workers=n_workers, layout=layout,
+        per_scale_fn=_aggvar_partial, joint_fn=_aggvar_joint_partial,
+        row_counts=[x.size // int(m) for m in sizes],
+        row_costs=[int(m) for m in sizes],
+        empty_state=AggVarState(  # only reachable with an empty scale grid
+            count=np.zeros(sizes.size, dtype=np.int64),
+            mean=np.zeros(sizes.size),
+            m2=np.zeros(sizes.size),
+        ),
+    )
+
+
+def _dfa_rows(profile: np.ndarray, size: int, lo: int, hi: int) -> tuple[float, int]:
+    """Squared residual sum and point count of boxes ``[lo, hi)``."""
+    boxes = profile[lo * size : hi * size].reshape(hi - lo, size)
+    t = np.arange(size, dtype=np.float64)
+    t_mean = t.mean()
+    t_centered = t - t_mean
+    denom = np.dot(t_centered, t_centered)
+    slopes = boxes @ t_centered / denom
+    intercepts = boxes.mean(axis=1) - slopes * t_mean
+    trends = slopes[:, None] * t[None, :] + intercepts[:, None]
+    residuals = boxes - trends
+    return float((residuals**2).sum()), residuals.size
 
 
 def _dfa_partial(
     profile_ref, box_sizes: np.ndarray, index: int, n_shards: int
 ) -> DFAState:
-    """Partial squared-residual sums over this shard's boxes of every size."""
+    """Per-scale layout: this shard's boxes of every size."""
     profile = resolve_values(profile_ref)
     sq_sum = np.zeros(len(box_sizes))
     n_points = np.zeros(len(box_sizes), dtype=np.int64)
@@ -216,35 +329,43 @@ def _dfa_partial(
         lo, hi = _shard_rows(n_boxes, index, n_shards)
         if hi <= lo:
             continue
-        boxes = profile[lo * size : hi * size].reshape(hi - lo, size)
-        t = np.arange(size, dtype=np.float64)
-        t_mean = t.mean()
-        t_centered = t - t_mean
-        denom = np.dot(t_centered, t_centered)
-        slopes = boxes @ t_centered / denom
-        intercepts = boxes.mean(axis=1) - slopes * t_mean
-        trends = slopes[:, None] * t[None, :] + intercepts[:, None]
-        residuals = boxes - trends
-        sq_sum[i] = float((residuals**2).sum())
-        n_points[i] = residuals.size
+        sq_sum[i], n_points[i] = _dfa_rows(profile, size, lo, hi)
     return DFAState(sq_sum=sq_sum, n_points=n_points)
 
 
-def parallel_dfa_fluctuations(values, box_sizes, *, workers=None) -> np.ndarray:
+def _dfa_joint_partial(profile_ref, box_sizes: np.ndarray, assignments) -> DFAState:
+    """Joint layout: the ``(scale, lo, hi)`` box ranges this shard owns."""
+    profile = resolve_values(profile_ref)
+    sq_sum = np.zeros(len(box_sizes))
+    n_points = np.zeros(len(box_sizes), dtype=np.int64)
+    for i, lo, hi in assignments:
+        sq_sum[i], n_points[i] = _dfa_rows(profile, int(box_sizes[i]), lo, hi)
+    return DFAState(sq_sum=sq_sum, n_points=n_points)
+
+
+def parallel_dfa_fluctuations(
+    values, box_sizes, *, workers=None, layout: str = "joint"
+) -> np.ndarray:
     """Sharded twin of :func:`repro.hurst.dfa.dfa_fluctuations`.
 
     The integrated profile is a global cumulative sum and is computed once
     in the parent; shards detrend disjoint box ranges of it.
     """
+    _validate_layout(layout)
     n_workers = resolve_workers(workers)
     x = as_float_array(values, name="values", min_length=32)
     profile = np.cumsum(x - x.mean())
     sizes = np.asarray(box_sizes, dtype=np.int64)
-    n_shards = n_workers
-    with shared_values(profile, workers=n_workers, n_tasks=n_shards) as ref:
-        tasks = [(ref, sizes, index, n_shards) for index in range(n_shards)]
-        partials = run_shards(_dfa_partial, tasks, workers=n_workers)
-    return merge_states(partials).finalize()
+    return _run_sharded_estimator(
+        profile, sizes, workers=n_workers, layout=layout,
+        per_scale_fn=_dfa_partial, joint_fn=_dfa_joint_partial,
+        row_counts=[profile.size // int(s) if int(s) >= 4 else 0 for s in sizes],
+        row_costs=[max(int(s), 1) for s in sizes],
+        empty_state=DFAState(
+            sq_sum=np.zeros(sizes.size),
+            n_points=np.zeros(sizes.size, dtype=np.int64),
+        ),
+    )
 
 
 # ---------------------------------------------------------------- queueing

@@ -145,6 +145,23 @@ def sharing_enabled() -> bool:
     return _SHARE_TRACES
 
 
+#: Exceptions meaning "no working pool in this environment" (missing
+#: semaphores, daemonic parent, unsupported start method, ...).
+_POOL_CREATION_ERRORS = (OSError, ValueError, RuntimeError, AssertionError)
+
+
+def _create_pool(method: str, processes: int):
+    """The one pool-creation recipe every dispatch path shares.
+
+    Both the fresh-pool path below and the persistent
+    :class:`repro.parallel.runtime.PoolRuntime` create their pools here,
+    so the two can never diverge on context or error handling; callers
+    catch :data:`_POOL_CREATION_ERRORS`.
+    """
+    ctx = multiprocessing.get_context(method)
+    return ctx.Pool(processes=processes)
+
+
 def _warn_pool_failure(exc: BaseException) -> None:
     """One-time diagnostic naming why shards are running serially."""
     global _POOL_FAILURE_WARNED
@@ -160,7 +177,7 @@ def _warn_pool_failure(exc: BaseException) -> None:
     )
 
 
-def run_shards(fn, tasks, *, workers: int | None = None) -> list:
+def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = False) -> list:
     """Apply ``fn(*task)`` to every task, returning results in task order.
 
     ``fn`` must be a module-level (picklable) function and each task a
@@ -168,6 +185,14 @@ def run_shards(fn, tasks, *, workers: int | None = None) -> list:
     task, tasks are distributed over a process pool; otherwise — or when a
     pool cannot be created — they run serially in-process.  Exceptions
     raised by ``fn`` propagate to the caller either way.
+
+    When a session-scoped :class:`repro.parallel.runtime.PoolRuntime` is
+    active, its persistent pool is reused instead of forking per call —
+    amortizing pool creation across every parallel region of a session.
+    ``fresh_pool=True`` opts a call out of the runtime: pass it when the
+    worker function depends on fork-inheriting parent state set *after*
+    the session started (e.g. the sweep engine's ``parallel_rows`` spec
+    global), which a long-lived pool's workers cannot see.
 
     Large arrays should not ride in the task tuples: publish them once
     through :class:`repro.trace.store.TraceStore` and pass the handle —
@@ -177,10 +202,24 @@ def run_shards(fn, tasks, *, workers: int | None = None) -> list:
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(tasks) <= 1:
         return [fn(*task) for task in tasks]
+    if not fresh_pool:
+        from repro.parallel.runtime import PoolUnavailableError, active_runtime
+
+        runtime = active_runtime()
+        if runtime is not None:
+            try:
+                # Cap at the task count like the fresh path sizes its
+                # pool — a small dispatch must not grow (and recycle)
+                # the persistent pool past what it can use.
+                return runtime.starmap(
+                    fn, tasks, workers=min(n_workers, len(tasks))
+                )
+            except PoolUnavailableError as exc:
+                _warn_pool_failure(exc.__cause__ or exc)
+                return [fn(*task) for task in tasks]
     try:
-        ctx = multiprocessing.get_context(pool_start_method())
-        pool = ctx.Pool(processes=min(n_workers, len(tasks)))
-    except (OSError, ValueError, RuntimeError, AssertionError) as exc:
+        pool = _create_pool(pool_start_method(), min(n_workers, len(tasks)))
+    except _POOL_CREATION_ERRORS as exc:
         # No working pool in this environment (missing semaphores, daemonic
         # parent, ...): degrade to the serial path, which is bit-for-bit
         # identical by construction — but say so, once.

@@ -62,10 +62,60 @@ _PUBLISHED: dict[str, np.ndarray] = {}
 
 #: Worker-side cache of attached shared-memory segments, keyed by name.
 #: Pool workers serve many tasks; caching keeps one mapping per segment
-#: alive for the worker's lifetime instead of re-attaching per task.
+#: alive instead of re-attaching per task.  Persistent-pool workers see
+#: a fresh segment per published trace, so the cache is bounded (FIFO):
+#: old entries are evicted and closed once no task still views them.
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
+#: Eviction threshold for :data:`_ATTACHED`.
+_ATTACHED_MAX = 8
+
 _TOKENS = itertools.count()
+
+
+#: One-time flag for the shm-fallback diagnostic under a persistent pool.
+_SHM_FALLBACK_WARNED = False
+
+
+def _warn_shm_fallback(exc: BaseException) -> None:
+    """One-time diagnostic: a live persistent pool lost zero-copy dispatch."""
+    global _SHM_FALLBACK_WARNED
+    if _SHM_FALLBACK_WARNED:
+        return
+    _SHM_FALLBACK_WARNED = True
+    import warnings
+
+    warnings.warn(
+        "repro.trace.store: shared memory is unavailable "
+        f"({type(exc).__name__}: {exc}); traces published while the "
+        "persistent pool is live will be pickled into every shard "
+        "(results are identical, dispatch is slower). Consider a fresh-"
+        "pool session, which keeps the zero-copy fork-inherit backend.",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without re-registering it for cleanup.
+
+    The publishing parent owns the segment's lifetime (it unlinks on
+    ``close``); an attach must not add its own resource-tracker
+    registration or the tracker warns about the already-unlinked name at
+    exit.  Python 3.13+ exposes ``track=False`` for exactly this; on
+    older versions the spurious registration is undone by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # best-effort: the warning is cosmetic
+            pass
+        return segment
 
 
 def _next_token() -> str:
@@ -119,7 +169,15 @@ class TraceHandle:
     def _attach_shm(self) -> np.ndarray:
         segment = _ATTACHED.get(self.ref)
         if segment is None:
-            segment = shared_memory.SharedMemory(name=self.ref)
+            segment = _attach_segment(self.ref)
+            while len(_ATTACHED) >= _ATTACHED_MAX:
+                stale = _ATTACHED.pop(next(iter(_ATTACHED)))
+                try:
+                    stale.close()
+                except BufferError:
+                    # A task still views the buffer; the mapping lives
+                    # exactly as long as that view does.
+                    pass
             _ATTACHED[self.ref] = segment
         view = np.ndarray(
             self.shape, dtype=np.dtype(self.dtype), buffer=segment.buf
@@ -178,8 +236,17 @@ class TraceStore:
         values = np.ascontiguousarray(resolve_values(process))
         if backend == "auto":
             from repro.parallel.executor import pool_start_method
+            from repro.parallel.runtime import attach_preferred
 
-            backend = "inherit" if pool_start_method() == "fork" else "shm"
+            if attach_preferred():
+                # A persistent pool is already live: its workers forked
+                # before this publish, so a registry entry made now is
+                # invisible to them — they must attach by name instead.
+                backend = "shm"
+            elif pool_start_method() == "fork":
+                backend = "inherit"
+            else:
+                backend = "shm"
         if backend == "inherit":
             token = _next_token()
             _PUBLISHED[token] = values
@@ -193,7 +260,15 @@ class TraceStore:
                 segment = shared_memory.SharedMemory(
                     create=True, size=max(values.nbytes, 1)
                 )
-            except (OSError, ValueError, RuntimeError):
+            except (OSError, ValueError, RuntimeError) as exc:
+                from repro.parallel.runtime import attach_preferred
+
+                if attach_preferred():
+                    # A persistent pool forced the shm backend; falling
+                    # back to inline re-introduces the per-shard pickle a
+                    # fresh-pool session would have avoided via inherit —
+                    # say so, once, instead of silently dispatching slow.
+                    _warn_shm_fallback(exc)
                 return cls.publish(values, backend="inline")
             target = np.ndarray(
                 values.shape, dtype=values.dtype, buffer=segment.buf

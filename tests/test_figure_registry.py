@@ -89,3 +89,22 @@ def test_deterministic_across_two_calls(name, baseline):
 def test_workers4_bit_identical_to_workers1(name, baseline):
     routed = run_experiment(name, scale=TINY, seed=SEED, workers=4)
     _assert_same_panels(baseline[name], routed, "workers=4")
+
+
+@pytest.mark.parametrize("name", ["fig05", "fig18", "fig21"])
+def test_persistent_runtime_bit_identical(name, baseline):
+    """A multi-figure session on one reused pool matches the serial run.
+
+    fig05/fig18 route Monte-Carlo ensembles through the engine (the
+    second call publishes *after* the pool forked, forcing the
+    attach-by-name path); fig21 is a ``parallel_rows`` figure, whose row
+    dispatch must keep fresh-forking under an active runtime.
+    """
+    from repro.parallel import pool_runtime
+
+    with pool_runtime():
+        for attempt in range(2):
+            routed = run_experiment(name, scale=TINY, seed=SEED, workers=2)
+            _assert_same_panels(
+                baseline[name], routed, f"persistent[{attempt}]"
+            )

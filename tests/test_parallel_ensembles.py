@@ -140,6 +140,48 @@ class TestEstimatorDeterminism:
         np.testing.assert_allclose(one, four, rtol=1e-12, atol=1e-12)
         np.testing.assert_allclose(sequential, four, rtol=1e-12, atol=1e-12)
 
+    @pytest.mark.parametrize("workers", [1, 3, 4])
+    def test_joint_and_per_scale_layouts_agree(self, trace, workers):
+        """The joint (scale x window) plan only regroups the reduction."""
+        sizes = default_window_sizes(N)
+        bsizes = np.unique(np.geomspace(2, N // 8, 8).astype(np.int64))
+        for joint, per_scale in (
+            (
+                parallel_rs_statistics(
+                    trace.values, sizes, workers=workers, layout="joint"),
+                parallel_rs_statistics(
+                    trace.values, sizes, workers=workers, layout="per-scale"),
+            ),
+            (
+                parallel_aggregate_variances(
+                    trace.values, bsizes, workers=workers, layout="joint"),
+                parallel_aggregate_variances(
+                    trace.values, bsizes, workers=workers, layout="per-scale"),
+            ),
+            (
+                parallel_dfa_fluctuations(
+                    trace.values, sizes, workers=workers, layout="joint"),
+                parallel_dfa_fluctuations(
+                    trace.values, sizes, workers=workers, layout="per-scale"),
+            ),
+        ):
+            np.testing.assert_allclose(joint, per_scale, rtol=1e-12, atol=1e-12)
+
+    def test_all_degenerate_sizes_all_nan(self, trace):
+        sizes = np.array([1, N * 2])
+        sequential = rs_statistics(trace.values, sizes)
+        parallel = parallel_rs_statistics(trace.values, sizes, workers=4)
+        assert np.isnan(sequential).all() and np.isnan(parallel).all()
+
+    def test_unknown_layout_rejected(self, trace):
+        sizes = default_window_sizes(N)
+        with pytest.raises(ParameterError, match="layout"):
+            parallel_rs_statistics(trace.values, sizes, layout="diagonal")
+        with pytest.raises(ParameterError, match="layout"):
+            parallel_aggregate_variances(trace.values, [4], layout="rows")
+        with pytest.raises(ParameterError, match="layout"):
+            parallel_dfa_fluctuations(trace.values, sizes, layout="")
+
     def test_tail_probabilities_exact(self, trace):
         arrivals = trace.values - trace.values.min() + 0.1
         occupancy = queue_occupancy(arrivals, capacity=float(arrivals.mean()) / 0.8)

@@ -107,3 +107,51 @@ class TestSharingToggle:
 
 def test_pool_start_method_is_real():
     assert pool_start_method() in multiprocessing.get_all_start_methods()
+
+
+class TestPersistentPoolDeterminism:
+    """A multi-call session on the persistent runtime is bit-identical to
+    fresh-pool and serial runs — the PR 4 acceptance pin."""
+
+    def test_multi_call_session_bit_identical(self):
+        import numpy as np
+
+        from repro.core.systematic import SystematicSampler
+        from repro.parallel import parallel_instance_means, pool_runtime
+        from repro.traffic.synthetic import fgn_trace
+
+        trace = fgn_trace(1 << 13, 20260726)
+        sampler = SystematicSampler(interval=64, offset=None)
+
+        def session(workers):
+            return [
+                parallel_instance_means(sampler, trace, 12, 20260726 + i,
+                                        workers=workers)
+                for i in range(3)
+            ]
+
+        serial = session(1)
+        fresh = session(4)
+        with pool_runtime() as rt:
+            pooled = session(4)
+            assert rt.forks <= 1  # the whole session shared one pool
+        for a, b, c in zip(serial, fresh, pooled):
+            np.testing.assert_array_equal(a, b)
+            np.testing.assert_array_equal(a, c)
+
+    def test_estimators_identical_on_reused_pool(self):
+        import numpy as np
+
+        from repro.hurst.rs import default_window_sizes
+        from repro.parallel import parallel_rs_statistics, pool_runtime
+        from repro.traffic.synthetic import fgn_trace
+
+        x = fgn_trace(1 << 13, 7).values
+        sizes = default_window_sizes(x.size)
+        fresh = parallel_rs_statistics(x, sizes, workers=4)
+        with pool_runtime():
+            pooled = [parallel_rs_statistics(x, sizes, workers=4)
+                      for __ in range(3)]
+        for p in pooled:
+            # Same plan, same partials, same merge order: exact equality.
+            np.testing.assert_array_equal(fresh, p)

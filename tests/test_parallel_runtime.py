@@ -1,0 +1,261 @@
+"""PoolRuntime: the session-scoped persistent worker pool.
+
+Pins the PR 4 tentpole contracts: one fork amortized across calls,
+recycle on config change, idle teardown, loud serial degradation when no
+pool can be created, and — the trace-visibility half — publishes made
+*after* the pool forked switch to the attach-by-name ``shm`` backend so
+persistent workers still see the parent's bits.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro.parallel.executor as executor
+import repro.parallel.runtime as runtime_module
+from repro.errors import ParameterError
+from repro.parallel import (
+    PoolRuntime,
+    active_runtime,
+    pool_runtime,
+    run_shards,
+    start_runtime,
+    stop_runtime,
+)
+from repro.parallel.runtime import attach_preferred, runtime_mode_from_env
+from repro.trace.store import _PUBLISHED, TraceStore
+
+SEED = 20260726
+
+
+def _pid(_):
+    return os.getpid()
+
+
+def _registry_view(handle):
+    """What a worker sees: (was it fork-inherited?, the attached sum)."""
+    return (handle.ref in _PUBLISHED, float(handle.values().sum()))
+
+
+def _fail(x):
+    raise ValueError(f"worker exploded on {x}")
+
+
+def _double(x):
+    return 2 * x
+
+
+def _child_runtime_state(_):
+    """Fresh-forked worker: what does the inherited runtime look like?"""
+    return active_runtime() is None
+
+
+def _nested_run_shards(x):
+    """Worker that itself dispatches — must degrade, never deadlock."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return run_shards(_double, [(x,), (x + 1,)], workers=2)
+
+
+class TestPoolReuse:
+    def test_pool_forked_lazily_and_reused(self):
+        with pool_runtime() as rt:
+            assert not rt.has_live_pool()  # nothing forked yet
+            first = run_shards(_pid, [(i,) for i in range(4)], workers=2)
+            assert rt.has_live_pool()
+            assert rt.forks == 1
+            second = run_shards(_pid, [(i,) for i in range(4)], workers=2)
+            assert rt.forks == 1  # same pool, no second fork
+            assert set(first) & set(second)  # literally the same processes
+        assert not rt.has_live_pool()  # scope exit tears down
+
+    def test_scope_restores_previous_runtime(self):
+        assert active_runtime() is None
+        with pool_runtime() as outer:
+            assert active_runtime() is outer
+            with pool_runtime() as inner:
+                assert active_runtime() is inner
+            assert active_runtime() is outer
+        assert active_runtime() is None
+
+    def test_start_stop_runtime(self):
+        rt = start_runtime(workers=2)
+        try:
+            assert active_runtime() is rt
+        finally:
+            stop_runtime()
+        assert active_runtime() is None
+        stop_runtime()  # idempotent
+
+    def test_grow_on_bigger_request_recycles(self):
+        with pool_runtime() as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.pool_size == 2
+            run_shards(_pid, [(i,) for i in range(6)], workers=4)
+            assert rt.forks == 2  # recycled into a bigger pool
+            assert rt.pool_size == 4
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.forks == 2  # smaller requests reuse the larger pool
+
+    def test_workers_cap_respected(self):
+        with pool_runtime(workers=2) as rt:
+            run_shards(_pid, [(i,) for i in range(8)], workers=6)
+            assert rt.pool_size == 2
+
+    def test_worker_exceptions_propagate_and_pool_survives(self):
+        with pool_runtime() as rt:
+            with pytest.raises(ValueError, match="worker exploded"):
+                run_shards(_fail, [(1,), (2,)], workers=2)
+            assert run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.forks == 1
+
+    def test_restart_forces_new_pool(self):
+        with pool_runtime() as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            rt.restart()
+            assert not rt.has_live_pool()
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.forks == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ParameterError, match="workers"):
+            PoolRuntime(0)
+        with pytest.raises(ParameterError, match="idle_timeout"):
+            PoolRuntime(idle_timeout=0)
+
+    def test_small_dispatch_does_not_grow_pool(self):
+        """A 2-task call at workers=8 must not recycle a 2-process pool."""
+        with pool_runtime() as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.pool_size == 2
+            run_shards(_pid, [(1,), (2,)], workers=8)  # capped at len(tasks)
+            assert rt.forks == 1
+            assert rt.pool_size == 2
+
+
+class TestForkedChildren:
+    """A forked child inherits the runtime global but must never use it:
+    the pool's handler threads did not survive the fork."""
+
+    def test_child_sees_no_runtime(self):
+        with pool_runtime() as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)  # pool live in parent
+            assert rt.has_live_pool()
+            # Fresh-forked children (the parallel_rows path) fork while
+            # the pool is live; active_runtime() must be None for them.
+            assert run_shards(
+                _child_runtime_state, [(1,), (2,)],
+                workers=2, fresh_pool=True,
+            ) == [True, True]
+
+    def test_nested_dispatch_degrades_serially_not_deadlocks(self):
+        with pool_runtime():
+            results = run_shards(
+                _nested_run_shards, [(1,), (5,)], workers=2, fresh_pool=True
+            )
+        assert results == [[2, 4], [10, 12]]
+
+    def test_owner_pid_guard(self, monkeypatch):
+        with pool_runtime() as rt:
+            monkeypatch.setattr(rt, "_owner_pid", os.getpid() + 1)
+            assert active_runtime() is None
+            assert not attach_preferred()
+
+
+class TestIdleTeardown:
+    def test_pool_torn_down_after_idle_and_reforked_on_use(self):
+        with pool_runtime(idle_timeout=0.15) as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.has_live_pool()
+            deadline = time.monotonic() + 5.0
+            while rt.has_live_pool() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert not rt.has_live_pool(), "idle teardown never fired"
+            # The next region simply re-forks; results are unaffected.
+            assert run_shards(_pid, [(1,), (2,)], workers=2)
+            assert rt.forks == 2
+
+
+class TestSerialDegradation:
+    def test_pool_failure_warns_once_and_runs_serially(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise OSError("semaphores unavailable in sandbox")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_pool)
+        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", False)
+        with pool_runtime():
+            with pytest.warns(RuntimeWarning, match="semaphores unavailable"):
+                assert run_shards(_pid, [(1,), (2,)], workers=2) == [
+                    os.getpid(), os.getpid(),
+                ]
+
+    def test_closed_runtime_degrades_serially(self, monkeypatch):
+        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", True)
+        with pool_runtime() as rt:
+            rt.close()
+            assert run_shards(_pid, [(1,), (2,)], workers=2) == [
+                os.getpid(), os.getpid(),
+            ]
+
+
+class TestAttachByName:
+    def test_publish_before_pool_uses_inherit(self):
+        values = np.random.default_rng(SEED).standard_normal(16384)
+        with pool_runtime() as rt:
+            assert not attach_preferred()  # no live pool yet
+            with TraceStore.publish(values) as store:
+                assert store.handle.kind == "inherit"
+            assert rt.forks == 0
+
+    def test_publish_after_pool_start_attaches_by_name(self):
+        """The tentpole pin: a live pool predating the publish forces shm."""
+        values = np.random.default_rng(SEED).standard_normal(16384)
+        with pool_runtime() as rt:
+            run_shards(_pid, [(1,), (2,)], workers=2)  # fork the pool first
+            assert rt.has_live_pool() and attach_preferred()
+            with TraceStore.publish(values) as store:
+                if store.handle.kind != "shm":
+                    pytest.skip("shared memory unavailable in this environment")
+                results = run_shards(
+                    _registry_view, [(store.handle,), (store.handle,)],
+                    workers=2,
+                )
+            expected = float(values.sum())
+            for inherited, total in results:
+                # Workers forked before the publish: the registry entry is
+                # invisible to them, so this was a genuine by-name attach.
+                assert not inherited
+                assert total == expected
+
+
+class TestRuntimeModeEnv:
+    def test_unset_means_fresh(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNTIME", raising=False)
+        assert runtime_mode_from_env() == "fresh"
+
+    @pytest.mark.parametrize("raw", ["persistent", "POOL", " Persistent "])
+    def test_persistent_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_RUNTIME", raw)
+        assert runtime_mode_from_env() == "persistent"
+
+    @pytest.mark.parametrize("raw", ["fresh", "fork", ""])
+    def test_fresh_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_RUNTIME", raw)
+        assert runtime_mode_from_env() == "fresh"
+
+    def test_invalid_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME", "turbo")
+        with pytest.warns(RuntimeWarning, match="REPRO_RUNTIME"):
+            assert runtime_mode_from_env() == "fresh"
+
+
+def test_module_state_clean():
+    """No test above may leak an active runtime into the session."""
+    assert runtime_module._ACTIVE_RUNTIME is None

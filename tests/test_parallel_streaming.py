@@ -9,6 +9,7 @@ from repro.errors import ParameterError
 from repro.parallel.streaming import (
     chunked,
     parallel_chunk_tail_probabilities,
+    prefetch_chunks,
     streamed_moments,
     streamed_queue_tail_probabilities,
     streamed_tail_probabilities,
@@ -159,3 +160,71 @@ class TestStreamedTraceMoments:
         assert state.count == len(trace)
         assert state.mean == pytest.approx(sizes.mean(), rel=1e-12)
         assert state.variance == pytest.approx(sizes.var(), rel=1e-12)
+
+    def test_pipelined_bit_identical_to_sync(self, tmp_path):
+        trace = _trace(997)
+        path = tmp_path / "trace.rpt"
+        write_trace(trace, path)
+        sync = streamed_trace_size_moments(path, chunk_size=64, pipelined=False)
+        piped = streamed_trace_size_moments(path, chunk_size=64, pipelined=True)
+        assert sync == piped  # dataclass equality: count, mean, m2
+
+
+class TestPrefetchChunks:
+    """Double-buffered ingest: same chunks, same order, same failures."""
+
+    def test_yields_same_chunks_in_order(self):
+        chunks = [np.arange(i, i + 3) for i in range(17)]
+        out = list(prefetch_chunks(iter(chunks), depth=2))
+        assert [id(c) for c in out] == [id(c) for c in chunks]
+
+    def test_empty_stream(self):
+        assert list(prefetch_chunks(iter([]))) == []
+
+    def test_depth_validated(self):
+        with pytest.raises(ParameterError, match="depth"):
+            list(prefetch_chunks(iter([]), depth=0))
+
+    def test_source_exception_reraised_in_place(self):
+        def source():
+            yield np.ones(4)
+            yield np.ones(4)
+            raise RuntimeError("ingest died")
+
+        received = []
+        with pytest.raises(RuntimeError, match="ingest died"):
+            for chunk in prefetch_chunks(source(), depth=1):
+                received.append(chunk)
+        assert len(received) == 2  # the prefix arrived intact first
+
+    def test_consumer_can_stop_early(self):
+        pulled = []
+
+        def source():
+            for i in range(1000):
+                pulled.append(i)
+                yield np.full(4, i)
+
+        gen = prefetch_chunks(source(), depth=1)
+        assert next(gen)[0] == 0
+        gen.close()
+        # The reader stops promptly: it never drains the whole source.
+        assert len(pulled) < 10
+
+    def test_pipelined_queue_fold_identical(self):
+        rng = np.random.default_rng(21)
+        arrivals = rng.poisson(8, size=5000).astype(np.float64)
+        thresholds = np.arange(0.0, 40.0, 1.0)
+        sync = streamed_queue_tail_probabilities(
+            chunked(arrivals, 311), 10.0, thresholds
+        )
+        piped = streamed_queue_tail_probabilities(
+            chunked(arrivals, 311), 10.0, thresholds, pipelined=True
+        )
+        np.testing.assert_array_equal(sync, piped)
+
+    def test_fold_over_prefetch_matches_plain(self):
+        x = np.random.default_rng(22).standard_normal(10_000)
+        plain = streamed_moments(chunked(x, 777))
+        piped = streamed_moments(prefetch_chunks(chunked(x, 777)))
+        assert plain == piped
