@@ -3,13 +3,14 @@
 Equivalent to ``python -m repro.experiments bench``; kept here so the
 perf harness lives next to the figure benchmarks.  Usage::
 
-    python benchmarks/perf/run.py [--quick] [--workers N] [--output BENCH_PR4.json]
+    python benchmarks/perf/run.py [--quick] [--workers N] [--output BENCH_PR5.json]
 
 ``--workers N`` appends workers=1 vs workers=N scaling rows for the
 sharded ensemble engine (:mod:`repro.parallel`) to the report; every run
 records the engine's dispatch-overhead rows (shared-memory vs pickled
 traces, persistent pool vs fresh fork per call, pipelined vs sync
-streaming ingest, joint vs per-scale estimator shard layout).
+streaming ingest, joint vs per-scale estimator shard layout, scenario
+campaign store + manifest vs bare cell evaluation).
 """
 
 from __future__ import annotations

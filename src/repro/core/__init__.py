@@ -5,10 +5,15 @@ from repro.core.base import Sampler, SamplingResult, interval_for_rate, series_v
 from repro.core.bss import BiasedSystematicSampler, OnlineBSS
 from repro.core.metrics import (
     absolute_eta,
+    absolute_relative_error,
     efficiency,
     efficiency_of,
     eta,
+    interval_coverage,
+    mean_absolute_relative_error,
     overhead,
+    relative_error,
+    relative_errors,
     summarize,
 )
 from repro.core.parameters import (
@@ -81,6 +86,11 @@ __all__ = [
     "efficiency",
     "efficiency_of",
     "summarize",
+    "relative_error",
+    "relative_errors",
+    "absolute_relative_error",
+    "mean_absolute_relative_error",
+    "interval_coverage",
     "instance_means",
     "average_variance",
     "compare_variances",

@@ -1,4 +1,4 @@
-"""The paper's evaluation metrics (Sec. VI): eta, overhead, efficiency.
+"""The paper's evaluation metrics (Sec. VI) and the accuracy reducers.
 
 * ``eta = 1 - Xs / Xr`` — relative under-estimation of the mean (Eq. 21);
 * ``overhead = qualified / regular`` — extra samples BSS pays for its
@@ -6,11 +6,20 @@
 * ``efficiency e = (1 - eta) / log10(Nt)`` — accuracy per order of
   magnitude of samples taken, the metric behind the headline 42%/23%
   improvements.
+
+The reducer family at the bottom is what the scenario subsystem's
+accuracy accounting (:mod:`repro.scenarios`) is built on: campaign
+cells record :func:`relative_error` /
+:func:`mean_absolute_relative_error` against a ground-truth mean/H/tail
+value and decide the coverage of :mod:`repro.hurst.confidence`
+intervals with :func:`interval_coverage`.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from repro.core.base import SamplingResult
 from repro.errors import ParameterError
@@ -49,6 +58,75 @@ def efficiency(eta_value: float, n_total: int) -> float:
 def efficiency_of(result: SamplingResult, true_mean: float) -> float:
     """Efficiency of one sampling instance against the known true mean."""
     return efficiency(eta(result.sampled_mean, true_mean), result.n_samples)
+
+
+# ------------------------------------------------------- accuracy reducers
+def relative_error(estimate: float, truth: float) -> float:
+    """Signed relative error ``(estimate - truth) / truth``.
+
+    The generic form of eta (``eta == -relative_error``): positive means
+    over-estimation.  Scale-invariant — rescaling estimate and truth by
+    one factor (changing the trace's unit) leaves it unchanged — which is
+    what makes cross-scenario accuracy tables comparable.
+    """
+    if truth == 0:
+        raise ParameterError("truth must be non-zero for a relative error")
+    return (float(estimate) - float(truth)) / float(truth)
+
+
+def absolute_relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` — the magnitude-only reducer."""
+    return abs(relative_error(estimate, truth))
+
+
+def relative_errors(estimates, truth: float) -> np.ndarray:
+    """Vectorised signed relative errors of an estimate ensemble."""
+    if truth == 0:
+        raise ParameterError("truth must be non-zero for a relative error")
+    values = np.asarray(estimates, dtype=np.float64)
+    return (values - truth) / truth
+
+
+def mean_absolute_relative_error(estimates, truth: float) -> float:
+    """Mean ``|relative error|`` over an ensemble, skipping non-finite cells.
+
+    Campaign cells record NaN where an estimator could not run (a sampled
+    series too short for a log-log fit); the reducer must aggregate what
+    *is* there rather than poison the scenario average.  Returns NaN when
+    no finite estimate survives.
+    """
+    errors = np.abs(relative_errors(estimates, truth))
+    finite = errors[np.isfinite(errors)]
+    if finite.size == 0:
+        return float("nan")
+    return float(finite.mean())
+
+
+def interval_coverage(intervals, truth: float) -> float:
+    """Fraction of confidence intervals containing the ground truth.
+
+    Accepts :class:`repro.hurst.confidence.HurstInterval` objects (or
+    anything with ``low``/``high``) and plain ``(low, high)`` pairs.  A
+    well-calibrated 90% interval should cover ~0.9 across a campaign;
+    LRD block bootstraps under-cover, and this reducer is how the
+    scenario tables quantify that.  Invariant under any common shift or
+    positive rescaling of intervals and truth together (a unit change
+    must not alter calibration).
+    """
+    lows_highs = []
+    for interval in intervals:
+        if hasattr(interval, "low") and hasattr(interval, "high"):
+            low, high = float(interval.low), float(interval.high)
+        else:
+            low, high = (float(v) for v in interval)
+        if high < low:
+            raise ParameterError(f"interval [{low}, {high}] is inverted")
+        lows_highs.append((low, high))
+    if not lows_highs:
+        raise ParameterError("no intervals to reduce")
+    truth = float(truth)
+    covered = sum(1 for low, high in lows_highs if low <= truth <= high)
+    return covered / len(lows_highs)
 
 
 def summarize(result: SamplingResult, true_mean: float) -> dict[str, float]:

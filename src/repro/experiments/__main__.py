@@ -5,27 +5,39 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25] [--runtime persistent]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR4.json]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR5.json]
     python -m repro.experiments runtime
+    python -m repro.experiments scenarios list
+    python -m repro.experiments scenarios run [NAME ...] [--smoke] [--resume]
+    python -m repro.experiments scenarios report --campaign NAME
 
 ``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
 which sets the session default; results never depend on either.
-``run --runtime persistent`` (or ``REPRO_RUNTIME=persistent``) keeps one
-worker pool alive across every figure instead of forking per parallel
-region — same outputs, less fixed overhead for many-figure sweeps.  The
-``runtime`` subcommand prints the parallel configuration this machine
-and environment would run with.
+``--runtime persistent`` (or ``REPRO_RUNTIME=persistent``) keeps one
+worker pool alive across every figure/campaign cell instead of forking
+per parallel region — same outputs, less fixed overhead for many-cell
+sweeps.  The ``runtime`` subcommand prints the parallel configuration
+this machine and environment would run with.
+
+``scenarios run`` executes declarative evaluation campaigns
+(:mod:`repro.scenarios`) into an append-only result store under
+``results/<campaign>/``; an interrupted campaign continues with
+``--resume``, skipping every completed cell, and ``scenarios report``
+renders the stored accuracy comparison tables.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
 import os
 import sys
 import time
 
-from repro.experiments.runner import available_experiments, run_experiment
+from repro.experiments.runner import (
+    available_experiments,
+    execution_scope,
+    run_experiment,
+)
 
 
 def main(argv=None) -> int:
@@ -63,12 +75,49 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR4.json)")
+                       help="JSON report path (default BENCH_PR5.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,
                        help="also record workers=1 vs workers=N parallel-"
                             "scaling rows for the sharded ensemble engine")
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative evaluation campaigns with a resumable store",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scen_sub.add_parser("list", help="list registered scenarios")
+    scen_run = scen_sub.add_parser(
+        "run", help="run a campaign (all scenarios unless names are given)"
+    )
+    scen_run.add_argument("names", nargs="*",
+                          help="scenario names (default: every registered one)")
+    scen_run.add_argument("--campaign", default=None,
+                          help="campaign name / store directory (defaults to "
+                               "'smoke' with --smoke, else 'full')")
+    scen_run.add_argument("--smoke", action="store_true",
+                          help="shrink workload sizes (never the grids) for "
+                               "a fast deterministic end-to-end pass")
+    scen_run.add_argument("--resume", action="store_true",
+                          help="continue an interrupted campaign, skipping "
+                               "completed cells (byte-identical store)")
+    scen_run.add_argument("--results-dir", default="results",
+                          help="store root directory (default results/)")
+    scen_run.add_argument("--seed", type=int, default=None,
+                          help="override the campaign master seed")
+    scen_run.add_argument("--workers", type=int, default=None,
+                          help="shard every cell ensemble over N workers "
+                               "(results identical for any N)")
+    scen_run.add_argument("--runtime", choices=("persistent", "fresh"),
+                          default=None,
+                          help="worker-pool lifetime across cells (default "
+                               "from REPRO_RUNTIME, else fresh)")
+    scen_report = scen_sub.add_parser(
+        "report", help="render a stored campaign's comparison tables"
+    )
+    scen_report.add_argument("--campaign", required=True)
+    scen_report.add_argument("--results-dir", default="results")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -109,20 +158,17 @@ def main(argv=None) -> int:
             bench_argv.extend(["--workers", str(args.workers)])
         return bench_main(bench_argv)
 
-    from repro.parallel.runtime import pool_runtime, runtime_mode_from_env
+    if args.command == "scenarios":
+        return _scenarios_main(args)
 
-    mode = args.runtime or runtime_mode_from_env()
-    scope = pool_runtime() if mode == "persistent" else contextlib.nullcontext()
     names = available_experiments() if args.name == "all" else [args.name]
-    with scope:
-        # A persistent scope keeps one pool alive across *all* requested
-        # figures — the fork cost is paid once per session, not per
-        # figure (and not per panel cell).  Outputs are identical.
+    # A persistent scope keeps one pool alive across *all* requested
+    # figures — the fork cost is paid once per session, not per
+    # figure (and not per panel cell).  Outputs are identical.
+    with execution_scope(workers=args.workers, runtime=args.runtime):
         for name in names:
             start = time.perf_counter()
-            panels = run_experiment(
-                name, scale=args.scale, seed=args.seed, workers=args.workers
-            )
+            panels = run_experiment(name, scale=args.scale, seed=args.seed)
             elapsed = time.perf_counter() - start
             for panel in panels:
                 print(panel.render())
@@ -131,5 +177,51 @@ def main(argv=None) -> int:
     return 0
 
 
+def _scenarios_main(args) -> int:
+    """The ``scenarios`` subcommand family (lazy import: heavy package)."""
+    from repro.scenarios import (
+        ResultStore,
+        available_scenarios,
+        get_scenario,
+        render_report,
+        run_campaign,
+    )
+
+    if args.scenarios_command == "list":
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            n_cells = len(scenario.cells())
+            print(f"{name:<24} {n_cells:>3} cells  {scenario.description}")
+        return 0
+
+    if args.scenarios_command == "report":
+        store = ResultStore(os.path.join(args.results_dir, args.campaign))
+        print(render_report(store))
+        return 0
+
+    campaign = args.campaign or ("smoke" if args.smoke else "full")
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    start = time.perf_counter()
+    with execution_scope(workers=args.workers, runtime=args.runtime):
+        summary = run_campaign(
+            args.names or None,
+            campaign=campaign,
+            results_dir=args.results_dir,
+            smoke=args.smoke,
+            resume=args.resume,
+            **kwargs,
+        )
+    elapsed = time.perf_counter() - start
+    print(summary.render())
+    print(f"completed in {elapsed:.1f}s")
+    return 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head`: not an error of ours
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -9,27 +9,28 @@ stdlib ``time.perf_counter`` is the only timing dependency.
 
 Entry points
 ------------
-* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR4.json]``
+* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR5.json]``
 * ``python benchmarks/perf/run.py`` (same flags)
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR4.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR5.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
 records the scaling rows in the report.  Every run also records the
 engine's dispatch-overhead comparisons: zero-copy shared traces vs
 PR 2's pickled copies, the persistent pool runtime vs a fresh fork per
-call, pipelined vs synchronous streaming ingest, and joint vs per-scale
-estimator shard layouts.  The JSON header carries machine metadata
-(CPU count, platform, pool start method) so cross-machine ``BENCH_*``
-comparisons are interpretable.
+call, pipelined vs synchronous streaming ingest, joint vs per-scale
+estimator shard layouts, and the scenario campaign engine's store +
+manifest overhead against bare cell evaluation.  The JSON header
+carries machine metadata (CPU count, platform, pool start method) so
+cross-machine ``BENCH_*`` comparisons are interpretable.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
-import os
 import platform
 import tempfile
 import time
@@ -55,7 +56,7 @@ from repro.hurst.rs import (
     rs_statistics,
 )
 from repro.parallel.ensembles import parallel_rs_statistics
-from repro.parallel.executor import pool_start_method, resolve_workers, trace_sharing
+from repro.parallel.executor import machine_metadata, resolve_workers, trace_sharing
 from repro.parallel.runtime import pool_runtime
 from repro.parallel.streaming import streamed_trace_size_moments
 from repro.queueing.simulation import (
@@ -64,14 +65,17 @@ from repro.queueing.simulation import (
     tail_probabilities,
 )
 from repro.trace.io import write_binary
-from repro.trace.packet import PacketTrace
-from repro.traffic.synthetic import fgn_trace, synthetic_trace
+from repro.traffic.synthetic import (
+    fgn_trace,
+    synthetic_packet_trace,
+    synthetic_trace,
+)
 
 #: Master seed for every benchmark workload.
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR4.json"
+DEFAULT_OUTPUT = "BENCH_PR5.json"
 
 
 @dataclass(frozen=True)
@@ -306,16 +310,8 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
     # N reduces (file reads and numpy reductions both release the GIL);
     # the sync side is PR 2's sequential read-then-reduce loop.  Results
     # are identical — only the overlap differs.
-    rng = np.random.default_rng(seed + 4)
     n_packets = 1 << 17 if quick else 1 << 20
-    packet_trace = PacketTrace(
-        timestamps=np.cumsum(rng.exponential(1e-3, n_packets)),
-        sources=rng.integers(0, 256, n_packets, dtype=np.uint32),
-        destinations=rng.integers(0, 256, n_packets, dtype=np.uint32),
-        sizes=np.minimum(40 + rng.pareto(1.2, n_packets) * 100, 1500).astype(
-            np.uint32
-        ),
-    )
+    packet_trace = synthetic_packet_trace(n_packets, seed + 4)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         trace_path = Path(tmp) / "ingest.rpt"
         write_binary(packet_trace, trace_path)
@@ -347,6 +343,50 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
                 est, grid_sizes, workers=n_workers, layout="per-scale"),
             repeats=repeats, workers=n_workers,
         ))
+
+    # --- scenario campaigns: result-store overhead per cell --------------
+    # The campaign engine wraps every cell in JSONL append + fsync and a
+    # hashed manifest.  The 'vectorized' side runs one smoke scenario
+    # through run_campaign (store + manifest + resume bookkeeping), the
+    # 'reference' side evaluates the identical cells bare — the delta is
+    # the store's per-cell tax, which must stay negligible next to cell
+    # evaluation.  The resume row replays a completed campaign (all
+    # cells skipped): the fixed cost of an incremental no-op run.
+    from repro.scenarios import evaluate_cell, expand_cells, run_campaign
+
+    scenario_names = ["fgn-hurst-sweep"]
+    scenario_cells = expand_cells(scenario_names, smoke=True)
+
+    def _bare_cells():
+        for cell in scenario_cells:
+            evaluate_cell(cell, campaign="bench", seed=seed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-scen-") as tmp:
+        fresh_dirs = (Path(tmp) / f"run{i}" for i in itertools.count())
+
+        def _stored_campaign():
+            # Same campaign name as the bare side — the name seeds the
+            # cell labels, so both sides must share it to run identical
+            # cells; a fresh results_dir per call is what lets the store
+            # (which correctly refuses to overwrite results) start over.
+            run_campaign(scenario_names, campaign="bench",
+                         results_dir=next(fresh_dirs), smoke=True, seed=seed)
+
+        results.append(_time_pair(
+            "scenario_campaign_smoke", len(scenario_cells),
+            _stored_campaign, _bare_cells, repeats=repeats,
+        ))
+
+        resume_dir = Path(tmp) / "resume"
+        run_campaign(scenario_names, campaign="bench",
+                     results_dir=resume_dir, smoke=True, seed=seed)
+        results.append(_time_pair(
+            "scenario_campaign_smoke_resume", len(scenario_cells),
+            lambda: run_campaign(scenario_names, campaign="bench",
+                                 results_dir=resume_dir, smoke=True,
+                                 seed=seed, resume=True),
+            _bare_cells, repeats=repeats,
+        ))
     return results
 
 
@@ -362,22 +402,6 @@ def render_results(results) -> str:
             f"{r.reference_s * 1e3:>10.2f}ms {r.speedup:>7.1f}x"
         )
     return "\n".join(lines)
-
-
-def machine_metadata() -> dict:
-    """What a reader needs to interpret this machine's numbers.
-
-    Recorded in every report header: parallel-scaling rows measured on a
-    single-core container say something entirely different from the same
-    rows on a 16-core box, and the pool start method decides which
-    zero-copy backend the dispatch rows exercised.
-    """
-    return {
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "start_method": pool_start_method(),
-    }
 
 
 def write_report(results, path, *, quick: bool, seed: int, workers: int = 1) -> None:

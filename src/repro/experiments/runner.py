@@ -10,6 +10,7 @@ through the sharded engine via the session ``workers`` default.
 
 from __future__ import annotations
 
+import contextlib
 import importlib
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -74,6 +75,32 @@ def median_instance_means(
     rng = stream_for(seed_label, seed)
     means = instance_means(sampler, process, n_instances, rng)
     return float(np.median(means))
+
+
+@contextlib.contextmanager
+def execution_scope(*, workers: int | None = None, runtime: str | None = None):
+    """The CLI's run context: session workers default + pool runtime.
+
+    One scope serves every harness entry point (figure runs, scenario
+    campaigns): ``workers`` becomes the session sharding default for the
+    block, and ``runtime="persistent"`` keeps one worker pool alive
+    across every parallel region inside it (``None`` consults
+    ``REPRO_RUNTIME``).  Results never depend on either — the scope is
+    purely a wall-clock lever.
+    """
+    from repro.parallel import default_workers
+    from repro.parallel.runtime import pool_runtime, runtime_mode_from_env
+
+    mode = runtime if runtime is not None else runtime_mode_from_env()
+    if mode not in ("persistent", "fresh"):
+        raise ParameterError(
+            f"runtime must be 'persistent' or 'fresh', got {mode!r}"
+        )
+    pool_scope = (
+        pool_runtime() if mode == "persistent" else contextlib.nullcontext()
+    )
+    with pool_scope, default_workers(workers):
+        yield
 
 
 # ----------------------------------------------------------------- registry

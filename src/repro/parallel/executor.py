@@ -14,7 +14,9 @@ one-time :class:`RuntimeWarning` names the cause, so a silently serial
 session is diagnosable.
 
 The session default worker count starts at the ``REPRO_WORKERS``
-environment variable (1 when unset); the ``--workers`` CLI flag and the
+environment variable (1 when unset; a malformed value raises
+:class:`~repro.errors.ParameterError` naming the variable rather than
+silently running serial); the ``--workers`` CLI flag and the
 :func:`default_workers` context override it for their scope.
 """
 
@@ -41,10 +43,13 @@ def _validate_workers(workers) -> int:
 
 
 def _workers_from_env() -> int:
-    """Session default from ``REPRO_WORKERS`` (1 when unset or invalid).
+    """Session default from ``REPRO_WORKERS`` (1 when unset).
 
-    An unusable value warns instead of raising: an environment variable
-    must never make ``import repro`` fail.
+    A malformed value raises :class:`ParameterError` naming the variable:
+    a user who exported ``REPRO_WORKERS=8x`` asked for parallelism and
+    must not silently get a serial session.  The variable is read lazily
+    (first :func:`get_default_workers` call), so ``import repro`` itself
+    never fails — the first parallel-aware call does, loudly.
     """
     raw = os.environ.get("REPRO_WORKERS")
     if raw is None:
@@ -52,17 +57,15 @@ def _workers_from_env() -> int:
     try:
         return _validate_workers(int(raw))
     except (ValueError, ParameterError):
-        warnings.warn(
-            f"ignoring REPRO_WORKERS={raw!r}: expected an int >= 1",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return 1
+        raise ParameterError(
+            f"invalid REPRO_WORKERS={raw!r}: expected an int >= 1 "
+            "(unset the variable for the serial default)"
+        ) from None
 
 
-#: Session-wide default worker count: seeded from ``REPRO_WORKERS``,
-#: overridden by ``--workers`` at the CLI.
-_DEFAULT_WORKERS = _workers_from_env()
+#: Session-wide default worker count: seeded lazily from ``REPRO_WORKERS``
+#: (None = not yet read), overridden by ``--workers`` at the CLI.
+_DEFAULT_WORKERS: int | None = None
 
 #: One-time flag for the pool-failure diagnostic.
 _POOL_FAILURE_WARNED = False
@@ -80,22 +83,34 @@ def set_default_workers(workers: int) -> None:
 
 
 def get_default_workers() -> int:
-    """Current session default worker count."""
+    """Current session default worker count (reads ``REPRO_WORKERS`` once)."""
+    global _DEFAULT_WORKERS
+    if _DEFAULT_WORKERS is None:
+        _DEFAULT_WORKERS = _workers_from_env()
     return _DEFAULT_WORKERS
 
 
 @contextlib.contextmanager
 def default_workers(workers: int | None):
-    """Temporarily set the session default (no-op when ``workers`` is None)."""
+    """Temporarily set the session default (no-op when ``workers`` is None).
+
+    Saves and restores the raw default slot rather than resolving it, so
+    an explicit worker count wins over ``REPRO_WORKERS`` even when the
+    env value is malformed — the documented CLI-beats-env precedence.
+    The env error still fires loudly the first time the default is
+    actually *consulted* (a ``workers=None`` resolution outside any
+    override).
+    """
+    global _DEFAULT_WORKERS
     if workers is None:
         yield
         return
-    previous = get_default_workers()
+    previous = _DEFAULT_WORKERS  # may be the unread-env sentinel (None)
     set_default_workers(workers)
     try:
         yield
     finally:
-        set_default_workers(previous)
+        _DEFAULT_WORKERS = previous
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -120,6 +135,25 @@ def pool_start_method() -> str:
     """
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+def machine_metadata() -> dict:
+    """What a reader needs to interpret this machine's recorded numbers.
+
+    Stamped into every ``BENCH_*`` report header and scenario-campaign
+    manifest: parallel-scaling rows measured on a single-core container
+    say something entirely different from the same rows on a 16-core
+    box, and the pool start method decides which zero-copy backend a
+    recorded run exercised.
+    """
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "start_method": pool_start_method(),
+    }
 
 
 @contextlib.contextmanager

@@ -40,7 +40,6 @@ import contextlib
 import os
 import threading
 import time
-import warnings
 
 from repro.errors import ParameterError
 from repro.parallel.executor import (
@@ -270,8 +269,9 @@ def attach_preferred() -> bool:
 def runtime_mode_from_env() -> str:
     """``REPRO_RUNTIME`` session default: ``"persistent"`` or ``"fresh"``.
 
-    An unusable value warns instead of raising — an environment variable
-    must never make the CLI fail.
+    An unknown runtime name raises :class:`ParameterError` naming the
+    variable: a user who exported ``REPRO_RUNTIME=persistant`` asked for
+    the persistent pool and must not silently get fork-per-call.
     """
     raw = os.environ.get("REPRO_RUNTIME")
     if raw is None:
@@ -281,9 +281,7 @@ def runtime_mode_from_env() -> str:
         return "persistent"
     if value in ("fresh", "fork", ""):
         return "fresh"
-    warnings.warn(
-        f"ignoring REPRO_RUNTIME={raw!r}: expected 'persistent' or 'fresh'",
-        RuntimeWarning,
-        stacklevel=2,
+    raise ParameterError(
+        f"invalid REPRO_RUNTIME={raw!r}: expected 'persistent' or 'fresh' "
+        "(unset the variable for the fresh-pool default)"
     )
-    return "fresh"

@@ -1,0 +1,395 @@
+"""Campaign runner: expand scenario grids, evaluate cells, keep results.
+
+A campaign is a named run of one or more scenarios.  Every cell is a
+pure function of its seed label — the legacy ``stream_for`` grammar,
+``"<campaign>:<scenario>:<cell>"`` with role suffixes (``:trace``,
+``:est``, ``:ci``) for the independent random inputs inside a cell — so
+cells can be re-run, skipped, or distributed without changing a single
+number.  Monte-Carlo ensembles route through
+:func:`repro.core.variance.instance_means` and queue tails through
+:func:`repro.parallel.parallel_tail_probabilities`, i.e. through the
+sharded engine, the zero-copy trace protocol, and (when active) the
+persistent pool runtime; ``workers=N`` is bit-identical to
+``workers=1``.
+
+What a rate-series cell records:
+
+* **truth** — the full trace's mean (the paper's ``Xr``), its
+  construction-time Hurst exponent, and its ``tail_quantile`` value;
+* **estimate** — the ensemble-median sampled mean (the paper's "typical
+  instance" view) plus ensemble mean/min/max, Hurst estimates and the
+  tail quantile of a designated estimation instance, and optionally a
+  bootstrap confidence interval on that instance;
+* **errors** — the store's accuracy reducers
+  (:mod:`repro.core.metrics`): signed relative error of the median mean,
+  mean |relative error| across the ensemble, per-method absolute Hurst
+  errors, tail relative error, CI coverage of the true H;
+* **queue** (optional) — empirical Lindley tail at the spec's
+  utilisation vs Norros predictions from truth and from the sampled
+  estimates, reduced to mean |log10| discrepancies.
+
+Packet cells record the same mean/tail structure over mean *packet
+size* with count-based samplers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import (
+    interval_coverage,
+    mean_absolute_relative_error,
+    relative_error,
+)
+from repro.core.streaming import apply_sampler
+from repro.core.variance import instance_means
+from repro.errors import ParameterError, ReproError
+from repro.experiments.config import MASTER_SEED
+from repro.hurst.confidence import hurst_confidence_interval
+from repro.hurst.registry import estimate_hurst
+from repro.parallel import parallel_tail_probabilities
+from repro.parallel.executor import default_workers
+from repro.queueing.norros import overflow_probability
+from repro.queueing.simulation import queue_occupancy, utilisation_for_load
+from repro.scenarios.registry import available_scenarios, get_scenario
+from repro.scenarios.specs import Cell
+from repro.scenarios.store import ResultStore
+from repro.utils.rng import spawn_rngs, stream_for
+
+#: Fewer sampled points than this and a Hurst estimate/tail quantile is
+#: recorded as missing rather than fitted to noise.
+MIN_ESTIMATION_SAMPLES = 64
+
+
+def cell_label(campaign: str, cell: Cell) -> str:
+    """The cell's seed-stream label: ``<campaign>:<scenario>:<cell>``."""
+    return f"{campaign}:{cell.scenario}:{cell.cell_id}"
+
+
+# ------------------------------------------------------------- evaluation
+def _hurst_estimates(values: np.ndarray, methods) -> dict:
+    """Per-method H of a sampled series (NaN where estimation fails)."""
+    out = {}
+    for method in methods:
+        if values.size < MIN_ESTIMATION_SAMPLES:
+            out[method] = float("nan")
+            continue
+        try:
+            out[method] = float(estimate_hurst(values, method).hurst)
+        except ReproError:
+            out[method] = float("nan")
+    return out
+
+
+def _confidence(cell: Cell, values: np.ndarray, label: str, seed: int,
+                true_hurst: float | None):
+    """Bootstrap CI on the estimation instance, with coverage of truth."""
+    suite = cell.estimators
+    if suite.confidence_method is None:
+        return None
+    if values.size < MIN_ESTIMATION_SAMPLES:
+        return {"method": suite.confidence_method, "low": None, "high": None,
+                "covers": None}
+    try:
+        interval = hurst_confidence_interval(
+            values,
+            suite.confidence_method,
+            level=suite.confidence_level,
+            n_resamples=suite.n_resamples,
+            rng=stream_for(label + ":ci", seed),
+        )
+    except ReproError:
+        return {"method": suite.confidence_method, "low": None, "high": None,
+                "covers": None}
+    # The one place coverage is decided (reports only average the stored
+    # booleans): the same closed-bounds reducer the metrics tests pin.
+    covers = (
+        interval_coverage([(interval.low, interval.high)], true_hurst) == 1.0
+        if true_hurst is not None else None
+    )
+    return {
+        "method": suite.confidence_method,
+        "low": interval.low,
+        "high": interval.high,
+        "covers": covers,
+    }
+
+
+def _queue_study(cell: Cell, values: np.ndarray, true_hurst: float | None,
+                 mean_estimate: float, hurst_estimates: dict):
+    """Lindley tail of the full trace vs Norros predictions.
+
+    The empirical side runs through the sharded engine
+    (:func:`parallel_tail_probabilities` — exact integer exceedance
+    counts, so worker count cannot move it).  Predictions use the trace
+    peakedness ``a = Var/mean`` and either the ground truth (how good
+    could provisioning be) or the sampled estimates (how good is it
+    with this sampler) — their gap, in mean |log10 P|, is the
+    operational cost of sampling error.
+    """
+    spec = cell.queue
+    true_mean = float(values.mean())
+    if true_mean <= 0:
+        return None
+    capacity = utilisation_for_load(true_mean, spec.utilisation)
+    occupancy = queue_occupancy(values, capacity)
+    q_max = float(occupancy.max())
+    if q_max <= 0:
+        return None
+    thresholds = np.geomspace(max(q_max * 1e-3, 1e-9), q_max,
+                              spec.n_thresholds)
+    empirical = parallel_tail_probabilities(occupancy, thresholds)
+    peakedness = float(values.var()) / true_mean
+
+    def _norros_log_error(mean_rate, hurst):
+        if mean_rate is None or hurst is None:
+            return float("nan")
+        if not np.isfinite(mean_rate) or not np.isfinite(hurst):
+            return float("nan")
+        if not 0.0 < hurst < 1.0 or mean_rate >= capacity or mean_rate <= 0:
+            return float("nan")
+        predicted = overflow_probability(
+            thresholds, capacity, mean_rate, hurst,
+            variance_coeff=peakedness,
+        )
+        keep = (empirical > 0) & (predicted > 0)
+        if not keep.any():
+            return float("nan")
+        return float(
+            np.abs(np.log10(predicted[keep]) - np.log10(empirical[keep])).mean()
+        )
+
+    # Strictly the sampled estimates: when no estimator produced a finite
+    # H, the sampled prediction is *missing* (NaN -> null), never quietly
+    # backfilled from the ground truth it is supposed to be compared to.
+    sampled_hurst = next(
+        (h for h in hurst_estimates.values() if np.isfinite(h)), None
+    )
+    return {
+        "utilisation": spec.utilisation,
+        "capacity": capacity,
+        "occupancy_p99": float(np.quantile(occupancy, 0.99)),
+        "norros_log10_err_truth": _norros_log_error(true_mean, true_hurst),
+        "norros_log10_err_sampled": _norros_log_error(
+            mean_estimate, sampled_hurst
+        ),
+    }
+
+
+def _evaluate_series_cell(cell: Cell, label: str, seed: int) -> dict:
+    """One rate-series cell: ensemble + estimation instance + reducers."""
+    trace = cell.traffic.build(stream_for(label + ":trace", seed))
+    values = trace.values
+    suite = cell.estimators
+    true_mean = float(values.mean())
+    true_hurst = cell.traffic.target_hurst()
+    true_tail = float(np.quantile(values, suite.tail_quantile))
+
+    sampler = cell.sampler.build()
+    # The Monte-Carlo ensemble: routed through the sharded engine via the
+    # session workers default, bit-identical for any worker count.
+    means = instance_means(
+        sampler, trace, cell.n_instances, stream_for(label, seed)
+    )
+    mean_estimate = float(np.median(means))
+
+    # One designated estimation instance carries the H/tail questions —
+    # its randomness is its own stream, so ensemble sharding never
+    # perturbs it.
+    est = sampler.sample(trace, stream_for(label + ":est", seed))
+    est_values = est.values
+    hursts = _hurst_estimates(est_values, suite.methods)
+    tail_estimate = (
+        float(np.quantile(est_values, suite.tail_quantile))
+        if est_values.size >= MIN_ESTIMATION_SAMPLES else float("nan")
+    )
+
+    errors = {
+        "mean": relative_error(mean_estimate, true_mean),
+        "mean_abs_ensemble": mean_absolute_relative_error(means, true_mean),
+        "tail": (
+            relative_error(tail_estimate, true_tail)
+            if np.isfinite(tail_estimate) and true_tail != 0 else float("nan")
+        ),
+        "hurst": {
+            method: (
+                abs(h - true_hurst)
+                if true_hurst is not None and np.isfinite(h) else float("nan")
+            )
+            for method, h in hursts.items()
+        },
+    }
+    record = {
+        "key": cell.key,
+        "label": label,
+        **cell.to_json(),
+        "truth": {"mean": true_mean, "hurst": true_hurst, "tail": true_tail},
+        "estimate": {
+            "mean": mean_estimate,
+            "mean_avg": float(means.mean()),
+            "mean_min": float(means.min()),
+            "mean_max": float(means.max()),
+            "n_samples": int(est.n_samples),
+            "hurst": hursts,
+            "tail": tail_estimate,
+        },
+        "errors": errors,
+        "confidence": _confidence(cell, est_values, label, seed, true_hurst),
+    }
+    if cell.queue is not None:
+        record["queue"] = _queue_study(
+            cell, values, true_hurst, mean_estimate, hursts
+        )
+    return record
+
+
+def _evaluate_packet_cell(cell: Cell, label: str, seed: int) -> dict:
+    """One packet cell: mean wire size recovery under count-based sampling."""
+    trace = cell.traffic.build(stream_for(label + ":trace", seed))
+    sizes = trace.sizes.astype(np.float64)
+    suite = cell.estimators
+    true_mean = float(sizes.mean())
+    true_tail = float(np.quantile(sizes, suite.tail_quantile))
+
+    children = spawn_rngs(stream_for(label, seed), cell.n_instances)
+    means = np.empty(cell.n_instances, dtype=np.float64)
+    for i, child in enumerate(children):
+        sampled = apply_sampler(cell.sampler.build_packet(child), trace)
+        means[i] = (
+            float(sampled.sizes.mean()) if len(sampled) else float("nan")
+        )
+    mean_estimate = float(np.nanmedian(means))
+
+    est = apply_sampler(
+        cell.sampler.build_packet(stream_for(label + ":est", seed)), trace
+    )
+    est_sizes = est.sizes.astype(np.float64)
+    tail_estimate = (
+        float(np.quantile(est_sizes, suite.tail_quantile))
+        if est_sizes.size >= MIN_ESTIMATION_SAMPLES else float("nan")
+    )
+    return {
+        "key": cell.key,
+        "label": label,
+        **cell.to_json(),
+        "truth": {"mean": true_mean, "hurst": None, "tail": true_tail},
+        "estimate": {
+            "mean": mean_estimate,
+            "mean_avg": float(np.nanmean(means)),
+            "mean_min": float(np.nanmin(means)),
+            "mean_max": float(np.nanmax(means)),
+            "n_samples": int(len(est)),
+            "hurst": {},
+            "tail": tail_estimate,
+        },
+        "errors": {
+            "mean": relative_error(mean_estimate, true_mean),
+            "mean_abs_ensemble": mean_absolute_relative_error(means, true_mean),
+            "tail": (
+                relative_error(tail_estimate, true_tail)
+                if np.isfinite(tail_estimate) else float("nan")
+            ),
+            "hurst": {},
+        },
+        "confidence": None,
+    }
+
+
+def evaluate_cell(cell: Cell, *, campaign: str, seed: int = MASTER_SEED) -> dict:
+    """Evaluate one cell into its (JSON-safe) result record.
+
+    Pure in the label/seed: the same ``(campaign, cell, seed)`` always
+    produces the same record, for any worker count — the property the
+    resumable store and the determinism tests rely on.
+    """
+    label = cell_label(campaign, cell)
+    if cell.traffic.is_packet_trace:
+        return _evaluate_packet_cell(cell, label, seed)
+    return _evaluate_series_cell(cell, label, seed)
+
+
+# ---------------------------------------------------------------- campaign
+@dataclass(frozen=True)
+class CampaignSummary:
+    """What a campaign run did (printed by the CLI, asserted by CI)."""
+
+    campaign: str
+    n_cells: int
+    executed: int
+    skipped: int
+    store: ResultStore
+
+    def render(self) -> str:
+        return (
+            f"campaign {self.campaign}: cells={self.n_cells} "
+            f"executed={self.executed} skipped={self.skipped} "
+            f"-> {self.store.results_path}"
+        )
+
+
+def expand_cells(scenario_names=None, *, smoke: bool = False) -> list[Cell]:
+    """Every cell of the named scenarios (default: all), in run order.
+
+    Duplicate names are rejected: the duplicated cells would share
+    resume keys, so the manifest's cell count could never be reached and
+    the campaign would read incomplete forever.
+    """
+    names = (
+        list(scenario_names) if scenario_names else available_scenarios()
+    )
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ParameterError(
+            f"scenario names listed more than once: {sorted(duplicates)}"
+        )
+    cells = []
+    for name in names:
+        cells.extend(get_scenario(name).cells(smoke=smoke))
+    return cells
+
+
+def run_campaign(
+    scenario_names=None,
+    *,
+    campaign: str,
+    results_dir="results",
+    seed: int = MASTER_SEED,
+    smoke: bool = False,
+    workers: int | None = None,
+    resume: bool = False,
+    max_cells: int | None = None,
+) -> CampaignSummary:
+    """Run (or resume) a campaign over the named scenarios.
+
+    Cells run in deterministic order and are appended to the store as
+    they complete; completed cells are skipped on resume.  ``workers``
+    sets the session sharding default for every ensemble the cells run.
+    ``max_cells`` caps how many *new* cells this invocation executes —
+    the hook the interruption tests (and incremental jobs) use.
+    """
+    if max_cells is not None and max_cells < 0:
+        raise ParameterError(f"max_cells must be >= 0, got {max_cells}")
+    cells = expand_cells(scenario_names, smoke=smoke)
+    store = ResultStore.open(
+        results_dir, campaign, seed=seed, cells=cells, smoke=smoke,
+        resume=resume,
+    )
+    executed = skipped = 0
+    with default_workers(workers):
+        for cell in cells:
+            if store.is_completed(cell.key):
+                skipped += 1
+                continue
+            if max_cells is not None and executed >= max_cells:
+                break
+            store.append(evaluate_cell(cell, campaign=campaign, seed=seed))
+            executed += 1
+    return CampaignSummary(
+        campaign=campaign,
+        n_cells=len(cells),
+        executed=executed,
+        skipped=skipped,
+        store=store,
+    )

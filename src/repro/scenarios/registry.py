@@ -1,0 +1,178 @@
+"""Built-in scenario registry: the campaigns the repo ships ready to run.
+
+Eight scenarios cross the library's five traffic models with nine
+sampling techniques, covering the paper's evaluation axes (sampler
+accuracy across traffic regimes) plus the workloads the reproduction
+added along the way (packet-level count-based sampling, queueing tails).
+``repro.experiments scenarios list`` prints this table; user code can
+register its own scenarios with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.scenarios.specs import (
+    EstimatorSuite,
+    QueueSpec,
+    SamplerSpec,
+    Scenario,
+    TrafficSpec,
+)
+
+_N = 1 << 16
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (rejects duplicate names)."""
+    if scenario.name in _REGISTRY:
+        raise ParameterError(
+            f"scenario {scenario.name!r} is already registered"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+# ------------------------------------------------------------- definitions
+register_scenario(Scenario(
+    name="fgn-hurst-sweep",
+    description="Classical samplers on Gaussian fGn across the Hurst range",
+    traffic=(
+        TrafficSpec(model="fgn", n=_N, hurst=0.7),
+        TrafficSpec(model="fgn", n=_N, hurst=0.85),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.02),
+        SamplerSpec(kind="stratified", rate=0.02),
+        SamplerSpec(kind="simple_random", rate=0.02),
+    ),
+    estimators=EstimatorSuite(
+        methods=("aggregated_variance", "rs"),
+        confidence_method="aggregated_variance",
+    ),
+    n_instances=12,
+))
+
+register_scenario(Scenario(
+    name="onoff-aggregation",
+    description="ns-2-style on/off aggregates: does source count matter?",
+    traffic=(
+        TrafficSpec(model="onoff", n=_N, hurst=0.8, n_sources=16),
+        TrafficSpec(model="onoff", n=_N, hurst=0.8, n_sources=64),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.02),
+        SamplerSpec(kind="stratified", rate=0.02),
+        SamplerSpec(kind="bernoulli", rate=0.02),
+    ),
+    n_instances=12,
+))
+
+register_scenario(Scenario(
+    name="mginf-sessions",
+    description="M/G/inf session traffic: LRD by heavy-tailed durations",
+    traffic=(
+        TrafficSpec(model="mginf", n=_N, hurst=0.7),
+        TrafficSpec(model="mginf", n=_N, hurst=0.85),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.02),
+        SamplerSpec(kind="adaptive", rate=0.02),
+        SamplerSpec(kind="simple_random", rate=0.02),
+    ),
+    estimators=EstimatorSuite(methods=("aggregated_variance", "dfa")),
+    n_instances=12,
+))
+
+register_scenario(Scenario(
+    name="pareto-heavy-trigger",
+    description="BSS on heavy-tailed Pareto-LRD traffic (the eps<=1 stress)",
+    traffic=(
+        TrafficSpec(model="pareto_lrd", n=_N, alpha=1.3, mean=5.68),
+        TrafficSpec(model="pareto_lrd", n=_N, alpha=1.5),
+    ),
+    samplers=(
+        SamplerSpec(kind="bss", rate=0.01, epsilon=1.0, extra_samples=8),
+        SamplerSpec(kind="bss", rate=0.01, epsilon=1.5, extra_samples=8),
+        SamplerSpec(kind="systematic", rate=0.01),
+    ),
+    n_instances=15,
+))
+
+register_scenario(Scenario(
+    name="packet-count-sampling",
+    description="Event-driven 1-in-N packet sampling on a heavy-tailed trace",
+    traffic=(
+        TrafficSpec(model="packets", n=1 << 15, alpha=1.2),
+    ),
+    samplers=(
+        SamplerSpec(kind="count_systematic", rate=0.02),
+        SamplerSpec(kind="count_stratified", rate=0.02),
+        SamplerSpec(kind="bernoulli_packet", rate=0.02),
+    ),
+    estimators=EstimatorSuite(methods=(), tail_quantile=0.99),
+    n_instances=12,
+))
+
+register_scenario(Scenario(
+    name="queueing-tail",
+    description="Operational cost of sampling error: Norros tails vs Lindley",
+    traffic=(
+        TrafficSpec(model="fgn", n=_N, hurst=0.6),
+        TrafficSpec(model="fgn", n=_N, hurst=0.85),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.03),
+        SamplerSpec(kind="stratified", rate=0.03),
+        SamplerSpec(kind="simple_random", rate=0.03),
+    ),
+    queue=QueueSpec(utilisation=0.85, n_thresholds=12),
+    n_instances=10,
+))
+
+register_scenario(Scenario(
+    name="low-rate-stress",
+    description="The paper's hard regime: rates so low every sampler starves",
+    traffic=(
+        TrafficSpec(model="bell_labs", n=_N),
+        TrafficSpec(model="pareto_lrd", n=_N, alpha=1.3, mean=5.68),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.001),
+        SamplerSpec(kind="bss", rate=0.001, epsilon=1.0, extra_samples=8),
+        SamplerSpec(kind="adaptive", rate=0.001),
+    ),
+    estimators=EstimatorSuite(methods=(), tail_quantile=0.9),
+    n_instances=15,
+))
+
+register_scenario(Scenario(
+    name="high-rate-regime",
+    description="Dense sampling control: every technique should be accurate",
+    traffic=(
+        TrafficSpec(model="bell_labs", n=_N),
+        TrafficSpec(model="fgn", n=_N, hurst=0.8),
+    ),
+    samplers=(
+        SamplerSpec(kind="systematic", rate=0.1),
+        SamplerSpec(kind="stratified", rate=0.1),
+        SamplerSpec(kind="bernoulli", rate=0.1),
+    ),
+    estimators=EstimatorSuite(methods=("aggregated_variance", "rs")),
+    n_instances=8,
+))

@@ -1,0 +1,129 @@
+"""Comparison-table reports over a stored campaign.
+
+Reads a campaign's ``results.jsonl`` back and renders what the paper's
+Sec. VI tables answer per figure, but for *any* campaign: per scenario,
+one row per cell with the accuracy reducers side by side; then a
+campaign-wide comparison grouped by sampler kind — the "which technique
+recovers self-similar traffic best" summary the scenario subsystem
+exists to produce.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.scenarios.store import ResultStore
+from repro.utils.tables import format_table
+
+
+def _fmt(value, digits: int = 4) -> str:
+    """Table cell text: None (a recorded NaN) renders as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not math.isfinite(value):
+        return "-"
+    return f"{value:.{digits}g}" if isinstance(value, float) else str(value)
+
+
+def _hurst_error(record) -> float | None:
+    """Mean per-method absolute H error of one cell (None when absent)."""
+    errors = [v for v in record["errors"]["hurst"].values() if v is not None]
+    if not errors:
+        return None
+    return float(np.mean(errors))
+
+
+def _scenario_table(name: str, records: list[dict]) -> str:
+    headers = ["traffic", "sampler", "mean_err", "mare", "hurst_mae",
+               "tail_err", "ci_covers", "queue_dlog10"]
+    rows = []
+    for record in records:
+        confidence = record.get("confidence") or {}
+        queue = record.get("queue") or {}
+        traffic_slug, __, sampler_slug = (
+            record["key"].split("/", 1)[1].partition("+")
+        )
+        rows.append([
+            traffic_slug,
+            sampler_slug,
+            _fmt(record["errors"]["mean"]),
+            _fmt(record["errors"]["mean_abs_ensemble"]),
+            _fmt(_hurst_error(record)),
+            _fmt(record["errors"]["tail"]),
+            _fmt(confidence.get("covers")),
+            _fmt(queue.get("norros_log10_err_sampled")),
+        ])
+    title = f"[scenario {name}] {len(records)} cells"
+    return format_table(headers, rows, title=title)
+
+
+def _by_sampler_table(records: list[dict]) -> str:
+    """Campaign-wide accuracy by sampler kind (the headline comparison)."""
+    groups: dict[str, list[dict]] = {}
+    for record in records:
+        groups.setdefault(record["sampler"]["kind"], []).append(record)
+
+    def _mean_of(values) -> float | None:
+        kept = [v for v in values if v is not None and math.isfinite(v)]
+        return float(np.mean(kept)) if kept else None
+
+    def _coverage(cells) -> float | None:
+        """Mean of the per-cell coverage decisions the campaign recorded
+        (campaign.py decides them through ``interval_coverage``; a
+        second derivation here could silently drift from it)."""
+        covers = [
+            (record.get("confidence") or {}).get("covers")
+            for record in cells
+        ]
+        covers = [c for c in covers if c is not None]
+        return float(np.mean(covers)) if covers else None
+
+    headers = ["sampler", "cells", "|mean_err|", "mare", "hurst_mae",
+               "|tail_err|", "ci_coverage"]
+    rows = []
+    for kind in sorted(groups):
+        cells = groups[kind]
+        rows.append([
+            kind,
+            len(cells),
+            _fmt(_mean_of(
+                abs(r["errors"]["mean"]) if r["errors"]["mean"] is not None
+                else None
+                for r in cells
+            )),
+            _fmt(_mean_of(r["errors"]["mean_abs_ensemble"] for r in cells)),
+            _fmt(_mean_of(_hurst_error(r) for r in cells)),
+            _fmt(_mean_of(
+                abs(r["errors"]["tail"]) if r["errors"]["tail"] is not None
+                else None
+                for r in cells
+            )),
+            _fmt(_coverage(cells)),
+        ])
+    return format_table(headers, rows, title="[campaign] accuracy by sampler")
+
+
+def render_report(store: ResultStore) -> str:
+    """The full plain-text report of one campaign's stored results."""
+    manifest = store.read_manifest()
+    records = store.records()
+    by_scenario: dict[str, list[dict]] = {}
+    for record in records:
+        by_scenario.setdefault(record["scenario"], []).append(record)
+    lines = [
+        f"campaign {manifest['campaign']}: {len(records)}/"
+        f"{manifest['n_cells']} cells complete "
+        f"(seed {manifest['seed']}, grid {manifest['grid_hash'][:12]}..., "
+        f"{'smoke' if manifest.get('smoke') else 'full'} mode)",
+        "",
+    ]
+    for name in sorted(by_scenario):
+        lines.append(_scenario_table(name, by_scenario[name]))
+        lines.append("")
+    if records:
+        lines.append(_by_sampler_table(records))
+    else:
+        lines.append("(no completed cells yet)")
+    return "\n".join(lines)

@@ -1,0 +1,539 @@
+"""The scenario grammar: what a campaign cell is made of.
+
+The paper's question — how well does a sampling technique recover the
+mean, Hurst exponent, and tail behaviour of self-similar traffic? — is a
+cross product: *traffic model* × *sampler* × *estimator suite*
+(× optional *queueing study*).  This module declares each axis as a
+validated frozen dataclass:
+
+* :class:`TrafficSpec` — one synthetic workload (model name + parameters)
+  that can build itself into a :class:`~repro.trace.process.RateProcess`
+  or a :class:`~repro.trace.packet.PacketTrace` and knows its
+  construction-time ground truth (target Hurst exponent);
+* :class:`SamplerSpec` — one sampling technique + rate, buildable into a
+  :class:`~repro.core.base.Sampler` (rate-series kinds) or a
+  :class:`~repro.core.streaming.PacketSampler` (count-based kinds);
+* :class:`EstimatorSuite` — which Hurst estimators to run on the sampled
+  series, which tail quantile to compare, and whether to bootstrap a
+  confidence interval (:mod:`repro.hurst.confidence`) for coverage
+  accounting;
+* :class:`QueueSpec` — optional Lindley-queue tail study at a target
+  utilisation, with Norros-formula predictions from the sampled
+  estimates;
+* :class:`Scenario` — named grids of the above, expandable into
+  :class:`Cell` objects (one evaluation each, deterministically ordered
+  and labelled).
+
+Everything is validated eagerly (:class:`~repro.errors.ParameterError`)
+so a mis-declared campaign fails before any cell runs, and everything
+serialises to canonical JSON so the result store can hash the grid and
+resume interrupted campaigns safely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from repro.core.adaptive import AdaptiveRandomSampler
+from repro.core.base import Sampler, interval_for_rate
+from repro.core.bss import BiasedSystematicSampler
+from repro.core.simple_random import BernoulliSampler, SimpleRandomSampler
+from repro.core.stratified import StratifiedSampler
+from repro.core.streaming import (
+    BernoulliPacketSampler,
+    CountStratifiedSampler,
+    CountSystematicSampler,
+    PacketSampler,
+)
+from repro.core.systematic import SystematicSampler
+from repro.errors import ParameterError
+from repro.hurst.registry import available_methods
+from repro.trace.packet import PacketTrace
+from repro.trace.process import RateProcess
+from repro.traffic.belllabs import BELL_LABS_HURST, BellLabsLikeTrace
+from repro.traffic.mginf import MGInfinityModel
+from repro.traffic.synthetic import (
+    SYNTHETIC_HURST,
+    fgn_trace,
+    onoff_trace,
+    synthetic_packet_trace,
+    synthetic_trace,
+)
+from repro.utils.validation import (
+    require_int_at_least,
+    require_positive,
+    require_probability,
+)
+
+
+def _fmt(value: float) -> str:
+    """Compact float formatting for slugs (0.01 -> '0.01', 2.0 -> '2')."""
+    return f"{float(value):g}"
+
+
+# ------------------------------------------------------------------ traffic
+#: Traffic models a :class:`TrafficSpec` may name.
+TRAFFIC_MODELS = ("fgn", "onoff", "mginf", "pareto_lrd", "bell_labs", "packets")
+
+#: Which optional fields each model consumes (and, starred below in
+#: ``_REQUIRED_FIELDS``, requires).  A field set outside its model is an
+#: error: ``build()`` would ignore it while ``to_json()`` recorded it,
+#: so the store would claim a workload parameter the trace never had.
+_ALLOWED_FIELDS = {
+    "fgn": {"hurst", "mean"},
+    "onoff": {"hurst", "n_sources"},
+    "mginf": {"hurst"},
+    "pareto_lrd": {"alpha", "mean", "hurst"},
+    "bell_labs": set(),
+    "packets": {"alpha"},
+}
+_REQUIRED_FIELDS = {
+    "fgn": {"hurst"},
+    "onoff": {"hurst"},
+    "mginf": {"hurst"},
+    "pareto_lrd": {"alpha"},
+}
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One synthetic workload: model name plus its parameters.
+
+    ``hurst``/``mean``/``alpha``/``n_sources`` apply per model and are
+    validated accordingly; ``n`` is the series length in bins (for
+    ``packets``: the packet count).
+    """
+
+    model: str
+    n: int
+    hurst: float | None = None
+    mean: float | None = None
+    alpha: float | None = None
+    n_sources: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.model not in TRAFFIC_MODELS:
+            raise ParameterError(
+                f"unknown traffic model {self.model!r}; "
+                f"available: {list(TRAFFIC_MODELS)}"
+            )
+        require_int_at_least("n", self.n, 256)
+        if self.hurst is not None and not 0.5 < self.hurst < 1.0:
+            raise ParameterError(
+                f"hurst must lie in (0.5, 1) for LRD traffic, got {self.hurst}"
+            )
+        if self.mean is not None:
+            require_positive("mean", self.mean)
+        if self.alpha is not None and not 1.0 < self.alpha < 2.0:
+            raise ParameterError(
+                f"alpha must lie in (1, 2) for finite-mean heavy tails, "
+                f"got {self.alpha}"
+            )
+        if self.n_sources is not None:
+            require_int_at_least("n_sources", self.n_sources, 1)
+        given = {
+            name for name in ("hurst", "mean", "alpha", "n_sources")
+            if getattr(self, name) is not None
+        }
+        stray = given - _ALLOWED_FIELDS[self.model]
+        if stray:
+            raise ParameterError(
+                f"model {self.model!r} does not take {sorted(stray)}; "
+                f"it accepts {sorted(_ALLOWED_FIELDS[self.model]) or 'n only'}"
+            )
+        missing = _REQUIRED_FIELDS.get(self.model, set()) - given
+        if missing:
+            raise ParameterError(
+                f"model {self.model!r} requires {', '.join(sorted(missing))}"
+            )
+
+    @property
+    def is_packet_trace(self) -> bool:
+        return self.model == "packets"
+
+    def slug(self) -> str:
+        """Short id covering *every* field, so distinct specs never share
+        a resume key or a seed label (grids may vary on any axis)."""
+        parts = [self.model.replace("_", ""), f"n{self.n}"]
+        if self.hurst is not None:
+            parts.append(f"h{_fmt(self.hurst)}")
+        if self.mean is not None:
+            parts.append(f"m{_fmt(self.mean)}")
+        if self.alpha is not None:
+            parts.append(f"a{_fmt(self.alpha)}")
+        if self.n_sources is not None:
+            parts.append(f"s{self.n_sources}")
+        return "-".join(parts)
+
+    def target_hurst(self) -> float | None:
+        """The ground-truth H this workload was constructed to have."""
+        if self.model in ("fgn", "onoff", "mginf"):
+            return self.hurst
+        if self.model == "pareto_lrd":
+            # build() omits hurst when None, so synthetic_trace's default
+            # applies — the recorded truth must be that same constant.
+            return self.hurst if self.hurst is not None else SYNTHETIC_HURST
+        if self.model == "bell_labs":
+            return BELL_LABS_HURST
+        return None  # packets: no construction-time H
+
+    def build(self, rng) -> RateProcess | PacketTrace:
+        """Synthesize the workload (deterministic given ``rng``)."""
+        if self.model == "fgn":
+            return fgn_trace(self.n, rng, hurst=self.hurst,
+                             mean=self.mean if self.mean is not None else 10.0)
+        if self.model == "onoff":
+            return onoff_trace(
+                self.n, rng, hurst=self.hurst,
+                n_sources=self.n_sources if self.n_sources is not None else 64,
+            )
+        if self.model == "mginf":
+            model = MGInfinityModel.for_hurst(self.hurst)
+            return RateProcess(values=model.generate(self.n, rng),
+                               unit="sessions/bin")
+        if self.model == "pareto_lrd":
+            kwargs = {"alpha": self.alpha}
+            if self.mean is not None:
+                kwargs["mean"] = self.mean
+            if self.hurst is not None:
+                kwargs["hurst"] = self.hurst
+            return synthetic_trace(self.n, rng, **kwargs)
+        if self.model == "bell_labs":
+            return BellLabsLikeTrace().byte_process(self.n, rng)
+        if self.alpha is not None:
+            return synthetic_packet_trace(self.n, rng, alpha=self.alpha)
+        return synthetic_packet_trace(self.n, rng)
+
+    def to_json(self) -> dict:
+        record = {"model": self.model, "n": int(self.n)}
+        for name in ("hurst", "mean", "alpha"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = float(value)
+        if self.n_sources is not None:
+            record["n_sources"] = int(self.n_sources)
+        return record
+
+
+# ------------------------------------------------------------------ sampler
+#: Rate-series sampling techniques (operate on a RateProcess).
+SERIES_SAMPLERS = (
+    "systematic", "stratified", "simple_random", "bernoulli", "adaptive",
+    "bss",
+)
+#: Count-based (event-driven) packet sampling techniques.
+PACKET_SAMPLERS = ("count_systematic", "count_stratified", "bernoulli_packet")
+
+
+@dataclass(frozen=True)
+class SamplerSpec:
+    """One sampling technique at one rate.
+
+    ``epsilon``/``extra_samples`` parameterise BSS and are rejected for
+    other kinds (a mis-targeted grid must fail loudly, not silently
+    ignore an axis).
+    """
+
+    kind: str
+    rate: float
+    epsilon: float | None = None
+    extra_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERIES_SAMPLERS + PACKET_SAMPLERS:
+            raise ParameterError(
+                f"unknown sampler kind {self.kind!r}; available: "
+                f"{list(SERIES_SAMPLERS + PACKET_SAMPLERS)}"
+            )
+        require_probability("rate", self.rate)
+        if self.kind != "bss" and (
+            self.epsilon is not None or self.extra_samples is not None
+        ):
+            raise ParameterError(
+                f"epsilon/extra_samples only apply to 'bss', not {self.kind!r}"
+            )
+        if self.epsilon is not None:
+            require_positive("epsilon", self.epsilon)
+        if self.extra_samples is not None:
+            require_int_at_least("extra_samples", self.extra_samples, 0)
+
+    @property
+    def is_packet_kind(self) -> bool:
+        return self.kind in PACKET_SAMPLERS
+
+    def slug(self) -> str:
+        """Short id covering every field (see ``TrafficSpec.slug``)."""
+        parts = [self.kind.replace("_", "")]
+        if self.epsilon is not None:
+            parts.append(f"e{_fmt(self.epsilon)}")
+        if self.extra_samples is not None:
+            parts.append(f"L{self.extra_samples}")
+        parts.append(f"r{_fmt(self.rate)}")
+        return "-".join(parts)
+
+    def build(self) -> Sampler:
+        """The rate-series sampler this spec declares.
+
+        Offset-randomised where the technique has an offset (systematic,
+        BSS), so every ensemble instance draws its own starting phase —
+        the paper's E(V) setting.
+        """
+        if self.is_packet_kind:
+            raise ParameterError(
+                f"{self.kind!r} is a packet sampler; use build_packet(rng)"
+            )
+        if self.kind == "systematic":
+            return SystematicSampler.from_rate(self.rate, offset=None)
+        if self.kind == "stratified":
+            return StratifiedSampler.from_rate(self.rate)
+        if self.kind == "simple_random":
+            return SimpleRandomSampler.from_rate(self.rate)
+        if self.kind == "bernoulli":
+            return BernoulliSampler(rate=self.rate)
+        if self.kind == "adaptive":
+            return AdaptiveRandomSampler.from_rate(self.rate)
+        extras = self.extra_samples if self.extra_samples is not None else 8
+        epsilon = self.epsilon if self.epsilon is not None else 1.0
+        return BiasedSystematicSampler.from_rate(
+            self.rate, extras, epsilon=epsilon, offset=None
+        )
+
+    def build_packet(self, rng) -> PacketSampler:
+        """The count-based packet sampler this spec declares."""
+        if not self.is_packet_kind:
+            raise ParameterError(
+                f"{self.kind!r} is a rate-series sampler; use build()"
+            )
+        period = interval_for_rate(self.rate)
+        if self.kind == "count_systematic":
+            offset = int(rng.integers(0, period)) if period > 1 else 0
+            return CountSystematicSampler(period, offset=offset)
+        if self.kind == "count_stratified":
+            return CountStratifiedSampler(period, rng)
+        return BernoulliPacketSampler(self.rate, rng)
+
+    def to_json(self) -> dict:
+        record = {"kind": self.kind, "rate": float(self.rate)}
+        if self.epsilon is not None:
+            record["epsilon"] = float(self.epsilon)
+        if self.extra_samples is not None:
+            record["extra_samples"] = int(self.extra_samples)
+        return record
+
+
+# --------------------------------------------------------------- estimators
+@dataclass(frozen=True)
+class EstimatorSuite:
+    """Which accuracy questions a cell answers beyond the sampled mean.
+
+    ``methods`` are run on the sampled series (registry names from
+    :func:`repro.hurst.registry.available_methods`); ``tail_quantile``
+    picks the tail statistic compared against the full trace;
+    ``confidence_method`` (optional) bootstraps a CI on the sampled
+    series so the store can account interval *coverage* of the true H.
+    """
+
+    methods: tuple = ("aggregated_variance",)
+    tail_quantile: float = 0.99
+    confidence_method: str | None = None
+    confidence_level: float = 0.9
+    n_resamples: int = 12
+
+    def __post_init__(self) -> None:
+        known = available_methods()
+        for method in self.methods:
+            if method not in known:
+                raise ParameterError(
+                    f"unknown Hurst method {method!r}; available: {known}"
+                )
+        require_probability("tail_quantile", self.tail_quantile)
+        if self.confidence_method is not None:
+            if self.confidence_method not in known:
+                raise ParameterError(
+                    f"unknown confidence method {self.confidence_method!r}; "
+                    f"available: {known}"
+                )
+            require_probability("confidence_level", self.confidence_level)
+            require_int_at_least("n_resamples", self.n_resamples, 8)
+
+    def to_json(self) -> dict:
+        record = {
+            "methods": list(self.methods),
+            "tail_quantile": float(self.tail_quantile),
+        }
+        if self.confidence_method is not None:
+            record["confidence_method"] = self.confidence_method
+            record["confidence_level"] = float(self.confidence_level)
+            record["n_resamples"] = int(self.n_resamples)
+        return record
+
+
+# ----------------------------------------------------------------- queueing
+@dataclass(frozen=True)
+class QueueSpec:
+    """Optional Lindley-queue tail study for rate-series cells.
+
+    The full trace drains at capacity ``mean / utilisation``; the cell
+    records the empirical occupancy tail over ``n_thresholds`` geometric
+    buffer levels and Norros-formula predictions made once from the
+    ground truth and once from the sampled estimates — the operational
+    cost of sampling error, in log10 of overflow probability.
+    """
+
+    utilisation: float = 0.8
+    n_thresholds: int = 16
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilisation < 1.0:
+            raise ParameterError(
+                f"utilisation must lie in (0, 1), got {self.utilisation}"
+            )
+        require_int_at_least("n_thresholds", self.n_thresholds, 2)
+
+    def to_json(self) -> dict:
+        return {
+            "utilisation": float(self.utilisation),
+            "n_thresholds": int(self.n_thresholds),
+        }
+
+
+# ----------------------------------------------------------------- scenario
+@dataclass(frozen=True)
+class Cell:
+    """One campaign evaluation: a traffic grid point × a sampler grid point."""
+
+    scenario: str
+    traffic: TrafficSpec
+    sampler: SamplerSpec
+    estimators: EstimatorSuite
+    queue: QueueSpec | None
+    n_instances: int
+
+    def __post_init__(self) -> None:
+        if self.traffic.is_packet_trace != self.sampler.is_packet_kind:
+            raise ParameterError(
+                f"scenario {self.scenario!r}: traffic {self.traffic.slug()!r} "
+                f"and sampler {self.sampler.slug()!r} disagree on packet vs "
+                "rate-series sampling"
+            )
+        if self.queue is not None and self.traffic.is_packet_trace:
+            raise ParameterError(
+                f"scenario {self.scenario!r}: queue studies need a rate "
+                "series, not a packet trace"
+            )
+        require_int_at_least("n_instances", self.n_instances, 1)
+
+    @property
+    def cell_id(self) -> str:
+        """Stable content-derived id — the resume key within a scenario."""
+        return f"{self.traffic.slug()}+{self.sampler.slug()}"
+
+    @property
+    def key(self) -> str:
+        """Campaign-unique resume key."""
+        return f"{self.scenario}/{self.cell_id}"
+
+    def to_json(self) -> dict:
+        record = {
+            "scenario": self.scenario,
+            "traffic": self.traffic.to_json(),
+            "sampler": self.sampler.to_json(),
+            "estimators": self.estimators.to_json(),
+            "n_instances": int(self.n_instances),
+        }
+        if self.queue is not None:
+            record["queue"] = self.queue.to_json()
+        return record
+
+
+#: Smoke-mode caps: small enough that a full campaign smoke run (and the
+#: workers=4 vs workers=1 determinism pin in the tests) finishes in
+#: seconds, large enough that sampled series still feed the estimators.
+SMOKE_N = 8192
+SMOKE_PACKETS = 4096
+SMOKE_INSTANCES = 8
+SMOKE_RESAMPLES = 8
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named evaluation campaign unit: grids of traffic × samplers.
+
+    ``cells()`` expands the grids into deterministically ordered
+    :class:`Cell` objects; ``smoke=True`` shrinks workload sizes (never
+    the grids — coverage is the point of a smoke run) via the
+    ``SMOKE_*`` caps.
+    """
+
+    name: str
+    description: str
+    traffic: tuple
+    samplers: tuple
+    estimators: EstimatorSuite = field(default_factory=EstimatorSuite)
+    queue: QueueSpec | None = None
+    n_instances: int = 15
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or ":" in self.name:
+            raise ParameterError(
+                f"scenario name {self.name!r} must be non-empty and free of "
+                "':' and '/' (it rides in seed labels and store keys)"
+            )
+        if not self.traffic:
+            raise ParameterError(f"scenario {self.name!r} has no traffic grid")
+        if not self.samplers:
+            raise ParameterError(f"scenario {self.name!r} has no sampler grid")
+        for spec in self.traffic:
+            if not isinstance(spec, TrafficSpec):
+                raise ParameterError(
+                    f"scenario {self.name!r}: {spec!r} is not a TrafficSpec"
+                )
+        for spec in self.samplers:
+            if not isinstance(spec, SamplerSpec):
+                raise ParameterError(
+                    f"scenario {self.name!r}: {spec!r} is not a SamplerSpec"
+                )
+        require_int_at_least("n_instances", self.n_instances, 1)
+        # Fail the whole grid eagerly (packet/series mismatches, queue on
+        # packet traces) rather than mid-campaign.
+        self.cells()
+
+    def cells(self, *, smoke: bool = False) -> list[Cell]:
+        """Expand the grids, traffic-major (the figure-loop convention)."""
+        suite = self.estimators
+        n_instances = self.n_instances
+        if smoke:
+            n_instances = min(n_instances, SMOKE_INSTANCES)
+            if suite.confidence_method is not None:
+                suite = replace(
+                    suite, n_resamples=min(suite.n_resamples, SMOKE_RESAMPLES)
+                )
+        out = []
+        for traffic, sampler in itertools.product(self.traffic, self.samplers):
+            if smoke:
+                cap = SMOKE_PACKETS if traffic.is_packet_trace else SMOKE_N
+                traffic = replace(traffic, n=min(traffic.n, cap))
+            out.append(Cell(
+                scenario=self.name,
+                traffic=traffic,
+                sampler=sampler,
+                estimators=suite,
+                queue=self.queue,
+                n_instances=n_instances,
+            ))
+        # Colliding keys would make two cells share a seed stream and,
+        # worse, make resume skip one of them forever; slugs cover every
+        # spec field, so the only way here is a literally duplicated (or
+        # smoke-collapsed n-axis) grid point — refuse it loudly.
+        seen: set[str] = set()
+        for cell in out:
+            if cell.key in seen:
+                raise ParameterError(
+                    f"scenario {self.name!r}: two grid points collide on "
+                    f"cell key {cell.key!r}"
+                    + (" after the smoke-mode size cap" if smoke else "")
+                    + "; grid points must stay distinguishable"
+                )
+            seen.add(cell.key)
+        return out

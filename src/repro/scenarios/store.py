@@ -1,0 +1,242 @@
+"""Append-only campaign result store with resume-by-skipping semantics.
+
+A campaign writes under ``<results_dir>/<campaign>/``:
+
+* ``manifest.json`` — the campaign's identity: grid hash (SHA-256 over
+  the canonical JSON of every cell spec + the seed), cell count, and the
+  machine metadata the ``BENCH_*`` headers record, so a stored campaign
+  is interpretable (and resumable) later;
+* ``results.jsonl`` — one canonical-JSON line per completed cell,
+  appended (and flushed to disk) the moment the cell finishes.
+
+Resume contract: re-opening a campaign with ``resume=True`` first
+*repairs* the tail — a run killed mid-append leaves at most one
+truncated line, which is cut back to the last complete record — then
+skips every cell whose key is already present.  Because cells run in
+deterministic order, are pure functions of their seed labels, and every
+record is serialised canonically (sorted keys, no whitespace, NaN
+mapped to ``null``), a killed-then-resumed campaign converges to a store
+byte-identical to an uninterrupted run.  Nothing in the store depends on
+wall-clock time or worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.parallel.executor import machine_metadata
+
+SCHEMA = "repro-scenarios v1"
+
+
+def jsonify(value):
+    """Recursively coerce a record into canonical-JSON-safe types.
+
+    Numpy scalars become Python numbers; non-finite floats become None
+    (JSON has no NaN, and ``null`` is what the reducers' NaN-skipping
+    expects back); mappings/sequences recurse.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return value if np.isfinite(value) else None
+    return value
+
+
+def canonical_json(record) -> str:
+    """The one serialisation every store byte compares against."""
+    return json.dumps(jsonify(record), sort_keys=True,
+                      separators=(",", ":"), allow_nan=False)
+
+
+def grid_hash(campaign: str, seed: int, cells) -> str:
+    """SHA-256 identity of a campaign's expanded grid.
+
+    Covers the campaign name, the seed, and every cell spec in run
+    order — anything that changes which numbers the cells produce.
+    Deliberately excludes workers/runtime/machine: those change
+    wall-clock only, and a campaign must resume across them.
+    """
+    payload = canonical_json({
+        "schema": SCHEMA,
+        "campaign": campaign,
+        "seed": int(seed),
+        "cells": [cell.to_json() for cell in cells],
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """One campaign's on-disk results (see module docstring)."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.manifest_path = self.directory / "manifest.json"
+        self.results_path = self.directory / "results.jsonl"
+        self._completed: set[str] = set()
+
+    # -------------------------------------------------------------- opening
+    @classmethod
+    def open(
+        cls,
+        results_dir,
+        campaign: str,
+        *,
+        seed: int,
+        cells,
+        smoke: bool,
+        resume: bool = False,
+    ) -> "ResultStore":
+        """Create a fresh store, or re-open one to resume.
+
+        A fresh open refuses to touch an existing campaign directory that
+        already holds results (pass ``resume=True``, or pick another
+        campaign name).  A resume open verifies the manifest's grid hash
+        against the grid being requested — resuming a campaign with a
+        different grid would silently interleave incomparable cells.
+        Resuming a campaign that was never started just creates it.
+        """
+        if not campaign or "/" in campaign or ":" in campaign:
+            raise ParameterError(
+                f"campaign name {campaign!r} must be non-empty and free of "
+                "':' and '/' (it rides in seed labels and paths)"
+            )
+        store = cls(Path(results_dir) / campaign)
+        digest = grid_hash(campaign, seed, cells)
+        if store.results_path.exists():
+            if not resume:
+                raise ParameterError(
+                    f"campaign {campaign!r} already has results at "
+                    f"{store.results_path}; pass resume=True (--resume) to "
+                    "skip its completed cells, or choose another campaign "
+                    "name"
+                )
+            store._verify_manifest(digest)
+            store._repair_tail()
+            store._load_completed()
+            return store
+        store.directory.mkdir(parents=True, exist_ok=True)
+        store._write_manifest({
+            "schema": SCHEMA,
+            "campaign": campaign,
+            "seed": int(seed),
+            "smoke": bool(smoke),
+            "grid_hash": digest,
+            "n_cells": len(cells),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": machine_metadata(),
+        })
+        store.results_path.touch()
+        return store
+
+    def _write_manifest(self, manifest: dict) -> None:
+        with open(self.manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(jsonify(manifest), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def read_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            raise ParameterError(
+                f"no campaign manifest at {self.manifest_path}"
+            )
+        with open(self.manifest_path, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def _verify_manifest(self, digest: str) -> None:
+        manifest = self.read_manifest()
+        stored = manifest.get("grid_hash")
+        if stored != digest:
+            raise ParameterError(
+                f"campaign at {self.directory} was started with a different "
+                f"grid (stored hash {stored!r:.20}..., requested "
+                f"{digest!r:.20}...); results would not be comparable — "
+                "use a fresh campaign name for a changed grid"
+            )
+
+    # ------------------------------------------------------------ the tail
+    def _repair_tail(self) -> None:
+        """Cut a kill-truncated final line back to the last complete record."""
+        raw = self.results_path.read_bytes()
+        if not raw:
+            return
+        keep = raw
+        if not keep.endswith(b"\n"):
+            last_newline = keep.rfind(b"\n")
+            keep = keep[: last_newline + 1] if last_newline >= 0 else b""
+        else:
+            # A flush can land mid-record only without its newline, but a
+            # corrupt complete line (disk trouble) must not poison resume.
+            last = keep[:-1].rpartition(b"\n")[2]
+            try:
+                json.loads(last.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                keep = keep[: len(keep) - len(last) - 1]
+        if keep != raw:
+            with open(self.results_path, "r+b") as fh:
+                fh.truncate(len(keep))
+
+    def _load_completed(self) -> None:
+        self._completed = set()
+        with open(self.results_path, encoding="utf-8") as fh:
+            for line in fh:
+                record = json.loads(line)
+                self._completed.add(record["key"])
+
+    # ------------------------------------------------------------- records
+    def is_completed(self, key: str) -> bool:
+        return key in self._completed
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._completed)
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed cell (fsync: a kill loses at most
+        the record being written, never an earlier one)."""
+        line = canonical_json(record) + "\n"
+        with open(self.results_path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._completed.add(record["key"])
+
+    def records(self) -> list[dict]:
+        """Every completed cell record, in run (= file) order.
+
+        Read-only tolerant of a kill-truncated final line (reports on an
+        interrupted campaign must render the completed cells, and the
+        next ``resume`` open repairs the file); corruption anywhere
+        *before* the tail is a real integrity problem and raises.
+        """
+        if not self.results_path.exists():
+            raise ParameterError(f"no campaign results at {self.results_path}")
+        with open(self.results_path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        out = []
+        for index, line in enumerate(lines):
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break
+                raise ParameterError(
+                    f"corrupt record at line {index + 1} of "
+                    f"{self.results_path}; the store is append-only and "
+                    "only its final line may be torn"
+                ) from None
+        return out

@@ -25,6 +25,7 @@ from repro.traffic.synthetic import (
     SYNTHETIC_MEAN,
     fgn_trace,
     onoff_trace,
+    synthetic_packet_trace,
     synthetic_trace,
 )
 
@@ -48,6 +49,7 @@ __all__ = [
     "synthetic_trace",
     "onoff_trace",
     "fgn_trace",
+    "synthetic_packet_trace",
     "SYNTHETIC_MEAN",
     "SYNTHETIC_ALPHA",
     "SYNTHETIC_HURST",

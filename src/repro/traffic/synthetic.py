@@ -15,6 +15,9 @@ is agnostic to the trace's origin.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.trace.packet import PacketTrace
 from repro.trace.process import RateProcess
 from repro.traffic.copula import ParetoLRDModel
 from repro.traffic.fgn import fgn_davies_harte
@@ -71,6 +74,33 @@ def onoff_trace(
     model = OnOffModel.for_hurst(hurst, n_sources=n_sources)
     values = model.generate(n, normalize_rng(rng))
     return RateProcess(values=values, bin_width=bin_width, unit="units/bin")
+
+
+def synthetic_packet_trace(
+    n: int = 1 << 17,
+    rng=None,
+    *,
+    alpha: float = 1.2,
+    n_hosts: int = 256,
+) -> PacketTrace:
+    """Synthetic packet trace: Poisson-ish arrivals, heavy-tailed sizes.
+
+    The shared workload for packet-level studies (the perf benchmarks'
+    ingest rows and the ``packets`` scenario model use this one recipe):
+    exponential inter-arrivals at ~1 kpkt/s, uniform anonymised host
+    pairs, and Pareto(``alpha``) wire sizes floored at 40 B and capped
+    at the 1500 B MTU.
+    """
+    require_int_at_least("n", n, 1)
+    gen = normalize_rng(rng)
+    timestamps = np.cumsum(gen.exponential(1e-3, n))
+    sizes = np.minimum(40 + gen.pareto(alpha, n) * 100, 1500)
+    return PacketTrace(
+        timestamps=timestamps,
+        sources=gen.integers(0, n_hosts, n, dtype=np.uint32),
+        destinations=gen.integers(0, n_hosts, n, dtype=np.uint32),
+        sizes=sizes.astype(np.uint32),
+    )
 
 
 def fgn_trace(

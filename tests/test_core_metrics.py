@@ -1,0 +1,151 @@
+"""Accuracy reducers in :mod:`repro.core.metrics`.
+
+These are the reducers the scenario result store aggregates campaign
+cells with, so they get both exact hand-computed fixtures and property
+tests for the invariances the comparison tables rely on: relative errors
+must not change under a unit rescaling of trace values, and interval
+coverage must not change under a common shift or positive rescaling of
+intervals and truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    absolute_relative_error,
+    interval_coverage,
+    mean_absolute_relative_error,
+    relative_error,
+    relative_errors,
+)
+from repro.errors import ParameterError
+from repro.hurst.confidence import HurstInterval
+
+
+class TestRelativeErrorFixtures:
+    def test_exact_values(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(-0.1)
+        assert relative_error(10.0, 10.0) == 0.0
+        # Negative truth: under-estimation of a negative quantity is a
+        # positive signed error (estimate closer to zero than truth).
+        assert relative_error(-9.0, -10.0) == pytest.approx(-0.1)
+
+    def test_matches_eta_convention(self):
+        # eta = 1 - Xs/Xr is the paper's under-estimation; relative_error
+        # is its sign-flipped generic form.
+        from repro.core.metrics import eta
+
+        assert relative_error(5.0, 8.0) == pytest.approx(-eta(5.0, 8.0))
+
+    def test_absolute_form(self):
+        assert absolute_relative_error(9.0, 10.0) == pytest.approx(0.1)
+        assert absolute_relative_error(-12.0, -10.0) == pytest.approx(0.2)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ParameterError, match="non-zero"):
+            relative_error(1.0, 0.0)
+        with pytest.raises(ParameterError, match="non-zero"):
+            relative_errors([1.0, 2.0], 0.0)
+
+    def test_vectorised_errors(self):
+        out = relative_errors([8.0, 10.0, 14.0], 10.0)
+        np.testing.assert_allclose(out, [-0.2, 0.0, 0.4])
+
+
+class TestMeanAbsoluteRelativeError:
+    def test_hand_computed(self):
+        # |8-10|/10 = 0.2, |13-10|/10 = 0.3 -> mean 0.25
+        assert mean_absolute_relative_error([8.0, 13.0], 10.0) == pytest.approx(0.25)
+
+    def test_skips_non_finite_cells(self):
+        value = mean_absolute_relative_error([8.0, float("nan"), 13.0], 10.0)
+        assert value == pytest.approx(0.25)
+
+    def test_all_nan_reduces_to_nan(self):
+        assert math.isnan(
+            mean_absolute_relative_error([float("nan"), float("inf")], 10.0)
+        )
+
+
+class TestIntervalCoverageFixtures:
+    def test_pairs(self):
+        intervals = [(0.6, 0.9), (0.8, 0.95), (0.4, 0.7)]
+        assert interval_coverage(intervals, 0.85) == pytest.approx(2.0 / 3.0)
+        assert interval_coverage(intervals, 0.5) == pytest.approx(1.0 / 3.0)
+        assert interval_coverage(intervals, 2.0) == 0.0
+
+    def test_boundary_counts_as_covered(self):
+        assert interval_coverage([(0.5, 0.8)], 0.8) == 1.0
+        assert interval_coverage([(0.5, 0.8)], 0.5) == 1.0
+
+    def test_hurst_interval_objects(self):
+        made = [
+            HurstInterval(point=0.8, low=0.7, high=0.9, level=0.9,
+                          method="wavelet", n_resamples=50),
+            HurstInterval(point=0.6, low=0.55, high=0.65, level=0.9,
+                          method="wavelet", n_resamples=50),
+        ]
+        assert interval_coverage(made, 0.85) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError, match="no intervals"):
+            interval_coverage([], 0.8)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ParameterError, match="inverted"):
+            interval_coverage([(0.9, 0.5)], 0.8)
+
+
+# ------------------------------------------------------- property tests
+# Integer grids and power-of-two scale factors keep every shift/rescale
+# exact in float64, so the invariances can be asserted as equalities
+# rather than hidden behind tolerances.
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+nonzero = finite.filter(lambda v: abs(v) > 1e-3)
+grid = st.integers(min_value=-10**6, max_value=10**6)
+pow2 = st.integers(min_value=-10, max_value=10).map(lambda k: 2.0**k)
+
+
+class TestInvariances:
+    @settings(max_examples=100, deadline=None)
+    @given(estimate=finite, truth=nonzero, c=pow2)
+    def test_relative_error_scale_invariant(self, estimate, truth, c):
+        """A unit change (bytes -> kbytes) must not move the error."""
+        assert relative_error(c * estimate, c * truth) == relative_error(
+            estimate, truth
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lows=st.lists(grid, min_size=1, max_size=8),
+        width=st.integers(min_value=0, max_value=10),
+        truth=grid,
+        shift=grid,
+    )
+    def test_coverage_shift_invariant(self, lows, width, truth, shift):
+        intervals = [(low, low + width) for low in lows]
+        shifted = [(low + shift, high + shift) for low, high in intervals]
+        assert interval_coverage(shifted, truth + shift) == interval_coverage(
+            intervals, truth
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lows=st.lists(grid, min_size=1, max_size=8),
+        width=st.integers(min_value=0, max_value=10),
+        truth=grid,
+        c=pow2,
+    )
+    def test_coverage_positive_scale_invariant(self, lows, width, truth, c):
+        intervals = [(low, low + width) for low in lows]
+        scaled = [(c * low, c * high) for low, high in intervals]
+        assert interval_coverage(scaled, c * truth) == interval_coverage(
+            intervals, truth
+        )

@@ -270,3 +270,78 @@ class TestExperimentWorkersWiring:
                 np.testing.assert_array_equal(
                     np.asarray(a.series[name]), np.asarray(b.series[name])
                 )
+
+
+class TestJointCostModel:
+    """The joint layout's cost line: static control vs measured/explicit."""
+
+    def test_measured_matches_static_results(self, trace):
+        sizes = default_window_sizes(N)
+        static = parallel_rs_statistics(
+            trace.values, sizes, workers=4, cost_model="static"
+        )
+        measured = parallel_rs_statistics(
+            trace.values, sizes, workers=4, cost_model="measured"
+        )
+        np.testing.assert_allclose(static, measured, rtol=1e-12, atol=1e-12)
+
+    def test_explicit_weights_match_static_results(self, trace):
+        sizes = np.unique(np.geomspace(2, N // 8, 8).astype(np.int64))
+        static = parallel_aggregate_variances(trace.values, sizes, workers=4)
+        # A deliberately lopsided (but valid) replayed probe: the partition
+        # changes, the merged reduction must not.
+        weights = [1 + 7 * i for i in range(sizes.size)]
+        weighted = parallel_aggregate_variances(
+            trace.values, sizes, workers=4, cost_model=weights
+        )
+        np.testing.assert_allclose(static, weighted, rtol=1e-12, atol=1e-12)
+
+    def test_measured_dfa(self, trace):
+        sizes = default_window_sizes(N)
+        static = parallel_dfa_fluctuations(trace.values, sizes, workers=3)
+        measured = parallel_dfa_fluctuations(
+            trace.values, sizes, workers=3, cost_model="measured"
+        )
+        np.testing.assert_allclose(static, measured, rtol=1e-12, atol=1e-12)
+
+    def test_unknown_cost_model_rejected(self, trace):
+        sizes = default_window_sizes(N)
+        with pytest.raises(ParameterError, match="cost_model"):
+            parallel_rs_statistics(trace.values, sizes, cost_model="guess")
+        with pytest.raises(ParameterError, match="cost_model"):
+            parallel_rs_statistics(
+                trace.values, sizes, layout="per-scale", cost_model="guess"
+            )
+
+    def test_per_scale_layout_rejects_non_static_models(self, trace):
+        """A measured/explicit cost line has nowhere to apply in the
+        per-scale layout; discarding it silently would hide that."""
+        sizes = default_window_sizes(N)
+        with pytest.raises(ParameterError, match="layout='joint'"):
+            parallel_rs_statistics(
+                trace.values, sizes, layout="per-scale", cost_model="measured"
+            )
+        with pytest.raises(ParameterError, match="layout='joint'"):
+            parallel_aggregate_variances(
+                trace.values, [2, 4], layout="per-scale",
+                cost_model=[1, 2],
+            )
+
+    def test_wrong_weight_count_rejected(self, trace):
+        sizes = default_window_sizes(N)
+        with pytest.raises(ParameterError, match="weights"):
+            parallel_rs_statistics(trace.values, sizes, cost_model=[1, 2])
+
+    def test_non_sequence_cost_model_rejected(self, trace):
+        sizes = default_window_sizes(N)
+        with pytest.raises(ParameterError, match="cost_model"):
+            parallel_rs_statistics(trace.values, sizes, cost_model=3)
+
+    def test_non_integer_weights_rejected(self, trace):
+        sizes = default_window_sizes(N)
+        for bad in ("x", 1.9, True):
+            with pytest.raises(ParameterError, match="integers"):
+                parallel_rs_statistics(
+                    trace.values, sizes,
+                    cost_model=[bad] * sizes.size,
+                )

@@ -250,10 +250,10 @@ class TestRuntimeModeEnv:
         monkeypatch.setenv("REPRO_RUNTIME", raw)
         assert runtime_mode_from_env() == "fresh"
 
-    def test_invalid_value_warns_and_falls_back(self, monkeypatch):
+    def test_unknown_runtime_raises_naming_the_variable(self, monkeypatch):
         monkeypatch.setenv("REPRO_RUNTIME", "turbo")
-        with pytest.warns(RuntimeWarning, match="REPRO_RUNTIME"):
-            assert runtime_mode_from_env() == "fresh"
+        with pytest.raises(ParameterError, match="REPRO_RUNTIME"):
+            runtime_mode_from_env()
 
 
 def test_module_state_clean():
