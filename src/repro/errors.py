@@ -47,3 +47,47 @@ class DesignError(ReproError, ValueError):
     For example, asking for the unbiased threshold ``eps2`` when the target
     bias ``xi`` exceeds the maximum of the bias surface for the given ``L``.
     """
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Parallel execution failed in a way retries could not absorb.
+
+    Base class for the fault-tolerant executor's failure modes.  Shard
+    results are pure functions of their task arguments, so the campaign
+    layer may catch this, record the cell as quarantined, and move on —
+    re-attempting later is always safe and bit-identical.
+    """
+
+
+class WorkerLostError(ExecutionError):
+    """A pool worker died (killed, OOM, crashed) while shards were in flight."""
+
+
+class ShardDeadlineError(ExecutionError):
+    """A shard failed to finish within its configured deadline."""
+
+
+class RetryBudgetError(ExecutionError):
+    """A shard kept failing after every attempt its retry budget allowed."""
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A :mod:`repro.faults` directive simulated a process-killing failure.
+
+    Deliberately *not* an :class:`ExecutionError`: an injected torn store
+    write emulates the process dying mid-append, so it must abort the
+    campaign exactly as a real kill would (and be repaired by resume),
+    never be absorbed as a quarantined cell.
+    """
+
+
+class StoreIntegrityError(ParameterError):
+    """A campaign result store holds a corrupt record outside the torn tail.
+
+    A kill can truncate only the final line of the append-only store —
+    that tail is repaired on resume.  A record that fails its checksum or
+    does not parse anywhere *before* the tail means disk-level trouble or
+    tampering, and resuming over it would silently drop completed work.
+    Subclasses :class:`ParameterError` so existing boundary handlers keep
+    catching it; the dedicated name makes the cause greppable.
+    """

@@ -5,10 +5,11 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25] [--runtime persistent]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR5.json]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR6.json]
     python -m repro.experiments runtime
     python -m repro.experiments scenarios list
     python -m repro.experiments scenarios run [NAME ...] [--smoke] [--resume]
+        [--max-attempts N] [--shard-deadline S] [--faults PLAN]
     python -m repro.experiments scenarios report --campaign NAME
 
 ``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
@@ -23,7 +24,10 @@ this machine and environment would run with.
 (:mod:`repro.scenarios`) into an append-only result store under
 ``results/<campaign>/``; an interrupted campaign continues with
 ``--resume``, skipping every completed cell, and ``scenarios report``
-renders the stored accuracy comparison tables.
+renders the stored accuracy comparison tables.  ``--max-attempts`` and
+``--shard-deadline`` tune the executor's worker-loss/deadline
+supervision; ``--faults`` (or ``REPRO_FAULTS``) injects a deterministic
+fault plan for chaos testing — see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -75,7 +79,7 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR5.json)")
+                       help="JSON report path (default BENCH_PR6.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,
@@ -113,6 +117,17 @@ def main(argv=None) -> int:
                           default=None,
                           help="worker-pool lifetime across cells (default "
                                "from REPRO_RUNTIME, else fresh)")
+    scen_run.add_argument("--max-attempts", type=int, default=None,
+                          help="per-shard retry budget for worker-loss/"
+                               "deadline recovery (default 3; 1 disables "
+                               "supervision)")
+    scen_run.add_argument("--shard-deadline", type=float, default=None,
+                          help="seconds a dispatched shard may run before "
+                               "it is retried (default: no deadline)")
+    scen_run.add_argument("--faults", default=None,
+                          help="deterministic fault-injection plan, e.g. "
+                               "'kill:shard=3,delay:shard=5:seconds=30' "
+                               "(overrides REPRO_FAULTS; chaos testing only)")
     scen_report = scen_sub.add_parser(
         "report", help="render a stored campaign's comparison tables"
     )
@@ -199,12 +214,34 @@ def _scenarios_main(args) -> int:
         print(render_report(store))
         return 0
 
+    import contextlib
+
+    from repro.faults import fault_plan
+
     campaign = args.campaign or ("smoke" if args.smoke else "full")
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if args.max_attempts is not None or args.shard_deadline is not None:
+        from repro.parallel import RetryPolicy, get_retry_policy
+
+        current = get_retry_policy()
+        kwargs["retry"] = RetryPolicy(
+            max_attempts=(
+                args.max_attempts if args.max_attempts is not None
+                else current.max_attempts
+            ),
+            shard_deadline=args.shard_deadline,
+        )
+    # --faults scopes a plan (and shard numbering) to this one campaign;
+    # without it any REPRO_FAULTS session plan applies as-is.
+    faults_scope = (
+        fault_plan(args.faults) if args.faults is not None
+        else contextlib.nullcontext()
+    )
     start = time.perf_counter()
-    with execution_scope(workers=args.workers, runtime=args.runtime):
+    with faults_scope, execution_scope(workers=args.workers,
+                                       runtime=args.runtime):
         summary = run_campaign(
             args.names or None,
             campaign=campaign,

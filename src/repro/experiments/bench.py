@@ -9,18 +9,19 @@ stdlib ``time.perf_counter`` is the only timing dependency.
 
 Entry points
 ------------
-* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR5.json]``
+* ``python -m repro.experiments bench [--quick] [--workers N] [--output BENCH_PR6.json]``
 * ``python benchmarks/perf/run.py`` (same flags)
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR5.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR6.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
 records the scaling rows in the report.  Every run also records the
 engine's dispatch-overhead comparisons: zero-copy shared traces vs
 PR 2's pickled copies, the persistent pool runtime vs a fresh fork per
-call, pipelined vs synchronous streaming ingest, joint vs per-scale
+call, fault-supervised dispatch vs the plain-starmap fast path,
+pipelined vs synchronous streaming ingest, joint vs per-scale
 estimator shard layouts, and the scenario campaign engine's store +
 manifest overhead against bare cell evaluation.  The JSON header
 carries machine metadata (CPU count, platform, pool start method) so
@@ -56,7 +57,13 @@ from repro.hurst.rs import (
     rs_statistics,
 )
 from repro.parallel.ensembles import parallel_rs_statistics
-from repro.parallel.executor import machine_metadata, resolve_workers, trace_sharing
+from repro.parallel.executor import (
+    RetryPolicy,
+    machine_metadata,
+    resolve_workers,
+    retry_policy,
+    trace_sharing,
+)
 from repro.parallel.runtime import pool_runtime
 from repro.parallel.streaming import streamed_trace_size_moments
 from repro.queueing.simulation import (
@@ -75,7 +82,7 @@ from repro.traffic.synthetic import (
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR5.json"
+DEFAULT_OUTPUT = "BENCH_PR6.json"
 
 
 @dataclass(frozen=True)
@@ -302,6 +309,32 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
             name=f"pool_reuse_vs_fork_per_call_w{n_workers}",
             n=sweep_series.size, vectorized_s=reused_s, reference_s=fresh_s,
             workers=n_workers,
+        ))
+
+    # --- fault-path overhead: supervised dispatch vs plain starmap -------
+    # PR 6's supervision (async per-shard dispatch + worker watchdog +
+    # retry bookkeeping) is the default pool path; its fault-free cost
+    # must stay pinned near zero.  The 'vectorized' side runs with the
+    # default retry-enabled policy, the 'reference' side with
+    # RetryPolicy(max_attempts=1) — the plain-starmap fast path.  Both
+    # are fault-free and bit-identical; workers=1 never dispatches to a
+    # pool on either side, so its speedup ~1 is the control.
+    def _ensemble_supervised(n_workers: int):
+        with retry_policy(RetryPolicy(max_attempts=3)):
+            return instance_means(bss_dense, pareto, n_instances, seed,
+                                  workers=n_workers)
+
+    def _ensemble_plain(n_workers: int):
+        with retry_policy(RetryPolicy(max_attempts=1)):
+            return instance_means(bss_dense, pareto, n_instances, seed,
+                                  workers=n_workers)
+
+    for n_workers in sorted({1, workers}):
+        results.append(_time_pair(
+            f"supervised_vs_plain_dispatch_w{n_workers}", sampler_n,
+            lambda n_workers=n_workers: _ensemble_supervised(n_workers),
+            lambda n_workers=n_workers: _ensemble_plain(n_workers),
+            repeats=repeats, workers=n_workers,
         ))
 
     # --- streaming ingest: double-buffered chunk prefetch vs synchronous

@@ -55,6 +55,7 @@ Monte-Carlo ensemble, e.g. per-``beta`` trace synthesis + estimation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -291,10 +292,48 @@ def _has_ensembles(spec: SweepSpec) -> bool:
     return any(isinstance(s, (EnsembleSeries, RowGroup)) for s in spec.series)
 
 
+#: One-time flag for the parallel-rows serial-fallback diagnostic.
+_ROW_FALLBACK_WARNED = False
+
+
+def _warn_row_fallback(reason: str) -> None:
+    """One-time diagnostic naming why parallel rows are running serially.
+
+    Mirrors the executor's pool-failure warning: a user who asked for
+    ``workers=N`` on a ``parallel_rows`` figure must be able to tell a
+    silently-serial session from a parallel one.
+    """
+    global _ROW_FALLBACK_WARNED
+    if _ROW_FALLBACK_WARNED:
+        return
+    _ROW_FALLBACK_WARNED = True
+    warnings.warn(
+        f"repro.experiments.sweeps: parallel_rows requested but {reason}; "
+        "rows will run serially in this session (results are identical, "
+        "only slower)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 def _eval_rows(spec: SweepSpec, ctx: SweepContext) -> list[dict]:
     global _ACTIVE
     n = len(spec.x_values)
     n_workers = resolve_workers(None)
+    if (
+        spec.parallel_rows
+        and n_workers > 1
+        and n > 1
+        and not _has_ensembles(spec)
+        and pool_start_method() != "fork"
+    ):
+        # Row workers receive the spec via fork inheritance; without
+        # fork there is no transport, so the rows run serially — which
+        # must be loud, exactly like the executor's pool failure.
+        _warn_row_fallback(
+            f"the platform start method is {pool_start_method()!r} "
+            "(row specs travel to workers by fork inheritance)"
+        )
     if (
         spec.parallel_rows
         and n_workers > 1

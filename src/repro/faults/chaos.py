@@ -1,0 +1,150 @@
+"""End-to-end chaos smoke: prove fault tolerance converges byte-exactly.
+
+``python -m repro.faults.chaos`` drives one small campaign through every
+failure mode the fault-tolerant stack claims to survive, and asserts the
+strongest property the repo has: the final store is *byte-identical* to
+the fault-free ``workers=1`` run.
+
+The script runs four acts:
+
+1. a fault-free ``workers=1`` reference campaign (the golden bytes);
+2. the same campaign at ``workers=2`` under an injected plan — one
+   worker kill that recovery absorbs, one shard delayed past its
+   deadline that a retry absorbs, and one kill on *every* attempt that
+   exhausts the retry budget and quarantines its cell;
+3. a fault-free ``--resume`` that must re-attempt exactly the
+   quarantined cell (``executed == retried cells only``) and converge
+   the store to the reference bytes, manifest included;
+4. a torn store append (kill mid-write) that aborts the run, followed by
+   a resume whose tail repair again converges to the reference bytes.
+
+Finally it asserts no worker processes were orphaned.  CI runs this as
+the chaos job; locally it finishes in well under a minute.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import InjectedFault
+from repro.faults import fault_plan
+from repro.parallel.executor import RetryPolicy
+
+#: One scenario keeps the campaign small; its 6 smoke cells are enough
+#: to host every injected fault with healthy cells on both sides.
+SCENARIOS = ["fgn-hurst-sweep"]
+CAMPAIGN = "chaos"
+
+#: With ``workers=2`` each cell's ensemble is one 2-task dispatch, so
+#: cell k owns shards 2k and 2k+1: shard 0 -> cell 0, shard 2 -> cell 1,
+#: shard 4 -> cell 2.
+FAULTS = "kill:shard=0,delay:shard=2:seconds=5,kill:shard=4:attempt=*"
+
+#: Deadline generous enough for a smoke cell's real work on a busy
+#: machine, tight enough that the injected 5 s delay always blows it.
+RETRY = RetryPolicy(max_attempts=3, shard_deadline=1.5, backoff_base=0.05)
+
+
+def _store_bytes(summary):
+    return (
+        summary.store.results_path.read_bytes(),
+        summary.store.manifest_path.read_bytes(),
+    )
+
+
+def main(argv=None) -> int:
+    from repro.scenarios import run_campaign
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        base = Path(tmp)
+
+        # Act 1 — the golden bytes.  fault_plan(None) masks any
+        # REPRO_FAULTS session plan: the reference must be undisturbed.
+        with fault_plan(None):
+            ref = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "ref",
+                smoke=True, workers=1,
+            )
+        ref_results, ref_manifest = _store_bytes(ref)
+        print(f"reference: {ref.render()}")
+
+        # Act 2 — recovery, deadline retry, and quarantine in one run.
+        with fault_plan(FAULTS):
+            faulty = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "run",
+                smoke=True, workers=2, retry=RETRY,
+            )
+        print(f"faulty:    {faulty.render()}")
+        assert faulty.quarantined == 1, (
+            f"expected exactly the budget-exhausted cell quarantined, got "
+            f"{faulty.quarantined}"
+        )
+        assert faulty.executed == faulty.n_cells - 1, (
+            "kill and delay faults must be absorbed by retries, not "
+            f"quarantine: executed {faulty.executed}/{faulty.n_cells}"
+        )
+        assert faulty.store.quarantine_path.exists()
+
+        # Act 3 — fault-free resume: exactly the quarantined cell runs.
+        with fault_plan(None):
+            resumed = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "run",
+                smoke=True, workers=2, resume=True, retry=RETRY,
+            )
+        print(f"resumed:   {resumed.render()}")
+        assert resumed.executed == 1, (
+            f"resume must re-attempt only quarantined cells, executed "
+            f"{resumed.executed}"
+        )
+        assert resumed.skipped == resumed.n_cells - 1
+        assert not resumed.store.quarantine_path.exists()
+        assert _store_bytes(resumed) == (ref_results, ref_manifest), (
+            "resumed store is not byte-identical to the fault-free "
+            "workers=1 run"
+        )
+        print("act 3: quarantine + resume converged byte-identically")
+
+        # Act 4 — torn write aborts like a kill; resume repairs the tail.
+        with fault_plan("torn:append=3"):
+            try:
+                run_campaign(
+                    SCENARIOS, campaign=CAMPAIGN, results_dir=base / "torn",
+                    smoke=True, workers=1,
+                )
+            except InjectedFault as exc:
+                print(f"torn:      aborted as intended ({exc})")
+            else:
+                raise AssertionError("torn append did not abort the campaign")
+        with fault_plan(None):
+            repaired = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "torn",
+                smoke=True, workers=1, resume=True,
+            )
+        print(f"repaired:  {repaired.render()}")
+        assert repaired.skipped == 2, (
+            f"tail repair should keep the 2 records before the torn "
+            f"append, skipped {repaired.skipped}"
+        )
+        assert _store_bytes(repaired) == (ref_results, ref_manifest), (
+            "torn-then-resumed store is not byte-identical to the "
+            "fault-free workers=1 run"
+        )
+        print("act 4: torn tail + resume converged byte-identically")
+
+    # Nothing above may leak worker processes — chaos runs recycle pools
+    # aggressively, and every recycle must reap its corpses.
+    deadline = time.monotonic() + 10.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"orphaned worker processes: {leaked}"
+    print("chaos smoke: OK (no orphaned workers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

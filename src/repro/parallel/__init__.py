@@ -37,12 +37,17 @@ from repro.parallel.ensembles import (
     parallel_tail_probabilities,
 )
 from repro.parallel.executor import (
+    RetryPolicy,
     default_workers,
     get_default_workers,
+    get_retry_policy,
     pool_start_method,
+    resolve_retry_policy,
     resolve_workers,
+    retry_policy,
     run_shards,
     set_default_workers,
+    set_retry_policy,
     sharing_enabled,
     suggested_workers,
     trace_sharing,
@@ -92,6 +97,11 @@ __all__ = [
     "active_runtime",
     # executor
     "run_shards",
+    "RetryPolicy",
+    "retry_policy",
+    "get_retry_policy",
+    "set_retry_policy",
+    "resolve_retry_policy",
     "set_default_workers",
     "get_default_workers",
     "default_workers",

@@ -1,4 +1,4 @@
-"""Worker-pool executor with a serial fallback and a session-wide default.
+"""Worker-pool executor: serial fallback, session defaults, supervision.
 
 ``run_shards`` is the only place in the library that touches
 ``multiprocessing``: every parallel entry point hands it a module-level
@@ -18,6 +18,29 @@ environment variable (1 when unset; a malformed value raises
 :class:`~repro.errors.ParameterError` naming the variable rather than
 silently running serial); the ``--workers`` CLI flag and the
 :func:`default_workers` context override it for their scope.
+
+Fault tolerance (the supervision layer)
+---------------------------------------
+Pool dispatch is *supervised* by default: instead of one blocking
+``starmap``, shards go out as individual async tasks and the parent
+watches the pool's worker processes while it collects results.  A worker
+that dies (killed, OOM, segfault) or a shard that misses the
+:class:`RetryPolicy` deadline does not hang or poison the session — the
+pool is recycled and only the affected shards are re-executed, with
+bounded exponential backoff, up to the policy's attempt budget.  Shard
+tasks are pure functions of their argument tuples (RNG streams are
+spawned in the parent), so a retried shard is bit-identical to an
+undisturbed one; supervision can never change a result, only rescue it.
+A shard still failing after its last attempt raises
+:class:`~repro.errors.RetryBudgetError`, which the campaign layer turns
+into a quarantined cell instead of an aborted run.
+
+``RetryPolicy(max_attempts=1)`` disables supervision and restores the
+plain ``starmap`` fast path (the benchmark control).  Deterministic
+fault *injection* — the tooling that proves all of this on every CI run
+— lives in :mod:`repro.faults`; when a fault plan is active, shard
+dispatch routes through its picklable wrapper so directives fire inside
+the workers.
 """
 
 from __future__ import annotations
@@ -25,9 +48,17 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import time
 import warnings
+from dataclasses import dataclass
 
-from repro.errors import ParameterError
+from repro.errors import (
+    ParameterError,
+    RetryBudgetError,
+    ShardDeadlineError,
+    WorkerLostError,
+)
+from repro.faults import active_plan, call_with_faults, next_shard_base
 
 
 def _validate_workers(workers) -> int:
@@ -211,7 +242,257 @@ def _warn_pool_failure(exc: BaseException) -> None:
     )
 
 
-def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = False) -> list:
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How supervised dispatch handles lost, hung, and failing shards.
+
+    ``max_attempts`` is the per-shard budget: the first execution is
+    attempt 1, so ``max_attempts=1`` means "never retry" — and, with no
+    deadline, disables supervision entirely (shards go out as one plain
+    ``starmap``, the benchmark control).  ``shard_deadline`` (seconds,
+    measured per dispatch round) marks shards still running past it as
+    :class:`~repro.errors.ShardDeadlineError` candidates for retry.
+    Between retry rounds the supervisor recycles the pool and sleeps
+    ``min(backoff_base * 2**(round-1), backoff_cap)`` seconds.
+    """
+
+    max_attempts: int = 3
+    shard_deadline: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self):
+        if isinstance(self.max_attempts, bool) or not isinstance(self.max_attempts, int):
+            raise ParameterError(
+                f"max_attempts must be an int >= 1, got {self.max_attempts!r}"
+            )
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.shard_deadline is not None and not self.shard_deadline > 0:
+            raise ParameterError(
+                f"shard_deadline must be positive (or None), got "
+                f"{self.shard_deadline!r}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ParameterError(
+                "backoff_base and backoff_cap must be >= 0, got "
+                f"{self.backoff_base!r} and {self.backoff_cap!r}"
+            )
+
+    @property
+    def supervises(self) -> bool:
+        """Whether this policy requires the supervised dispatch path."""
+        return self.max_attempts > 1 or self.shard_deadline is not None
+
+
+#: Session-wide retry policy used when a call site passes ``policy=None``.
+_RETRY_POLICY = RetryPolicy()
+
+
+def _validate_policy(policy) -> RetryPolicy:
+    if not isinstance(policy, RetryPolicy):
+        raise ParameterError(
+            f"policy must be a RetryPolicy, got {policy!r} "
+            f"({type(policy).__name__})"
+        )
+    return policy
+
+
+def get_retry_policy() -> RetryPolicy:
+    """The session's current default :class:`RetryPolicy`."""
+    return _RETRY_POLICY
+
+
+def set_retry_policy(policy: RetryPolicy) -> None:
+    """Set the session default used when a call site passes ``policy=None``."""
+    global _RETRY_POLICY
+    _RETRY_POLICY = _validate_policy(policy)
+
+
+@contextlib.contextmanager
+def retry_policy(policy: RetryPolicy | None):
+    """Temporarily set the session retry policy (no-op when ``None``)."""
+    global _RETRY_POLICY
+    if policy is None:
+        yield
+        return
+    previous = _RETRY_POLICY
+    set_retry_policy(policy)
+    try:
+        yield
+    finally:
+        _RETRY_POLICY = previous
+
+
+def resolve_retry_policy(policy: RetryPolicy | None) -> RetryPolicy:
+    """Normalise a ``policy`` argument: ``None`` means the session default."""
+    if policy is None:
+        return _RETRY_POLICY
+    return _validate_policy(policy)
+
+
+#: Poll interval of the supervision loop (seconds).  Coarse enough to be
+#: invisible next to real shard work, fine enough that worker death and
+#: deadline overruns are noticed promptly.
+_POLL_INTERVAL = 0.02
+
+
+def _pool_worker_state(pool) -> frozenset:
+    """Snapshot of the pool's worker processes for death detection.
+
+    Pairs each worker pid with its exit code: a killed worker flips its
+    exit code the instant ``waitpid`` reaps it — before the pool's
+    handler thread gets around to pruning ``_pool`` — so comparing
+    snapshots catches deaths with one poll tick of latency.  ``_pool``
+    is a CPython implementation detail; where it is absent the snapshot
+    is empty and detection quietly degrades to deadline-based recovery.
+    """
+    procs = getattr(pool, "_pool", None) or ()
+    return frozenset((p.pid, p.exitcode) for p in list(procs))
+
+
+class _FreshPoolProvider:
+    """Supervision's view of a throwaway per-call pool."""
+
+    pool_errors = _POOL_CREATION_ERRORS
+
+    def __init__(self, method: str, processes: int):
+        self._method = method
+        self._processes = processes
+        self._pool = None
+
+    def pool(self):
+        if self._pool is None:
+            self._pool = _create_pool(self._method, self._processes)
+        return self._pool
+
+    def worker_state(self) -> frozenset:
+        return _pool_worker_state(self._pool) if self._pool is not None else frozenset()
+
+    def recycle(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    close = recycle
+
+
+def _call_shard(fn, task, plan, shard: int, attempt: int, *, in_worker: bool):
+    """Run one shard in-process, honouring any active fault plan."""
+    if plan is not None and plan.has_shard_faults():
+        return call_with_faults(plan, shard, attempt, in_worker, fn, tuple(task))
+    return fn(*task)
+
+
+def _dispatch_shard(pool, fn, task, plan, shard: int, attempt: int):
+    """Send one shard to the pool, wrapped for fault injection if needed.
+
+    The fault plan rides in the pickled arguments — never via inherited
+    globals — so workers forked before the plan existed still honour it.
+    """
+    if plan is not None and plan.has_shard_faults():
+        return pool.apply_async(
+            call_with_faults, (plan, shard, attempt, True, fn, tuple(task))
+        )
+    return pool.apply_async(fn, tuple(task))
+
+
+def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider) -> list:
+    """Supervised dispatch: async shards, a watchdog, and bounded retries.
+
+    Each round dispatches every pending shard with ``apply_async`` and
+    polls for results while watching the pool's worker processes.  A
+    worker death marks the round's uncollected shards lost (an already
+    ``ready()`` result is always collected first — completed work is
+    never discarded); a shard running past ``policy.shard_deadline``
+    (measured from the round's dispatch) is marked the same way.  Lost
+    shards trigger a pool recycle and a backed-off retry round of *only*
+    those shards — re-execution is bit-identical because shard tasks are
+    pure functions of their arguments.  A shard with no attempts left
+    raises :class:`~repro.errors.RetryBudgetError` (after the recycle,
+    so a persistent session is not poisoned); exceptions raised *by* the
+    shard function propagate unchanged, as on every other path.
+
+    If the pool cannot be (re)created at the top of a round, the pending
+    shards finish serially in-process — same degradation, same one-time
+    warning, as the unsupervised paths.
+    """
+    results: list = [None] * len(tasks)
+    attempts = [0] * len(tasks)
+    pending = list(range(len(tasks)))
+    round_no = 0
+    while pending:
+        if round_no > 0:
+            time.sleep(
+                min(policy.backoff_base * 2 ** (round_no - 1), policy.backoff_cap)
+            )
+        try:
+            pool = provider.pool()
+        except provider.pool_errors as exc:
+            _warn_pool_failure(exc.__cause__ or exc)
+            for i in pending:
+                attempts[i] += 1
+                results[i] = _call_shard(
+                    fn, tasks[i], plan, base + i, attempts[i], in_worker=False
+                )
+            return results
+        workers_before = provider.worker_state()
+        dispatched = time.monotonic()
+        handles = []
+        for i in pending:
+            attempts[i] += 1
+            handles.append(
+                (i, _dispatch_shard(pool, fn, tasks[i], plan, base + i, attempts[i]))
+            )
+        lost: dict = {}
+        worker_died = False
+        for i, handle in handles:
+            while True:
+                if handle.ready():
+                    results[i] = handle.get()
+                    break
+                if worker_died:
+                    lost[i] = WorkerLostError(
+                        f"shard {base + i} lost to a dead pool worker "
+                        f"(attempt {attempts[i]} of {policy.max_attempts})"
+                    )
+                    break
+                if (
+                    policy.shard_deadline is not None
+                    and time.monotonic() - dispatched >= policy.shard_deadline
+                ):
+                    lost[i] = ShardDeadlineError(
+                        f"shard {base + i} missed its "
+                        f"{policy.shard_deadline:g}s deadline "
+                        f"(attempt {attempts[i]} of {policy.max_attempts})"
+                    )
+                    break
+                handle.wait(_POLL_INTERVAL)
+                if provider.worker_state() != workers_before:
+                    worker_died = True
+        if not lost:
+            return results
+        # A dead or deadline-hogged worker must never serve another shard:
+        # recycle before retrying *and* before giving up, so a persistent
+        # runtime session stays healthy either way.
+        provider.recycle()
+        exhausted = sorted(i for i in lost if attempts[i] >= policy.max_attempts)
+        if exhausted:
+            detail = "; ".join(str(lost[i]) for i in exhausted)
+            raise RetryBudgetError(
+                f"{len(exhausted)} shard(s) still failing after "
+                f"{policy.max_attempts} attempt(s): {detail}"
+            )
+        round_no += 1
+        pending = sorted(lost)
+    return results
+
+
+def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = False,
+               policy: RetryPolicy | None = None) -> list:
     """Apply ``fn(*task)`` to every task, returning results in task order.
 
     ``fn`` must be a module-level (picklable) function and each task a
@@ -228,14 +509,30 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
     the session started (e.g. the sweep engine's ``parallel_rows`` spec
     global), which a long-lived pool's workers cannot see.
 
+    Pool dispatch is supervised per the resolved :class:`RetryPolicy`
+    (``policy=None`` means the session default): dead workers and blown
+    shard deadlines cost a pool recycle and a retry of only the affected
+    shards, never the session.  When a :mod:`repro.faults` plan is
+    active, this call claims the next global shard indices and routes
+    dispatch through the fault wrapper so directives can fire.
+
     Large arrays should not ride in the task tuples: publish them once
     through :class:`repro.trace.store.TraceStore` and pass the handle —
     see :func:`repro.parallel.memory.shared_values`.
     """
     tasks = list(tasks)
     n_workers = resolve_workers(workers)
+    pol = resolve_retry_policy(policy)
+    plan = active_plan()
+    # Claim shard indices even on the serial path: fault directives must
+    # address the same unit of work regardless of the worker count.
+    base = next_shard_base(len(tasks)) if plan is not None else 0
     if n_workers <= 1 or len(tasks) <= 1:
-        return [fn(*task) for task in tasks]
+        return [
+            _call_shard(fn, task, plan, base + i, 1, in_worker=False)
+            for i, task in enumerate(tasks)
+        ]
+    supervised = pol.supervises or (plan is not None and plan.has_shard_faults())
     if not fresh_pool:
         from repro.parallel.runtime import PoolUnavailableError, active_runtime
 
@@ -246,18 +543,31 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
                 # pool — a small dispatch must not grow (and recycle)
                 # the persistent pool past what it can use.
                 return runtime.starmap(
-                    fn, tasks, workers=min(n_workers, len(tasks))
+                    fn, tasks, workers=min(n_workers, len(tasks)),
+                    policy=pol, plan=plan, base=base,
                 )
             except PoolUnavailableError as exc:
                 _warn_pool_failure(exc.__cause__ or exc)
-                return [fn(*task) for task in tasks]
+                return [
+                    _call_shard(fn, task, plan, base + i, 1, in_worker=False)
+                    for i, task in enumerate(tasks)
+                ]
+    provider = _FreshPoolProvider(pool_start_method(), min(n_workers, len(tasks)))
     try:
-        pool = _create_pool(pool_start_method(), min(n_workers, len(tasks)))
+        pool = provider.pool()
     except _POOL_CREATION_ERRORS as exc:
         # No working pool in this environment (missing semaphores, daemonic
         # parent, ...): degrade to the serial path, which is bit-for-bit
         # identical by construction — but say so, once.
         _warn_pool_failure(exc)
-        return [fn(*task) for task in tasks]
-    with pool:
+        return [
+            _call_shard(fn, task, plan, base + i, 1, in_worker=False)
+            for i, task in enumerate(tasks)
+        ]
+    try:
+        if supervised:
+            return _supervise(fn, tasks, policy=pol, plan=plan, base=base,
+                              provider=provider)
         return pool.starmap(fn, tasks)
+    finally:
+        provider.close()

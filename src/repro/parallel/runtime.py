@@ -45,13 +45,43 @@ from repro.errors import ParameterError
 from repro.parallel.executor import (
     _POOL_CREATION_ERRORS,
     _create_pool,
+    _pool_worker_state,
+    _supervise,
     _validate_workers,
     pool_start_method,
+    resolve_retry_policy,
 )
 
 
 class PoolUnavailableError(RuntimeError):
     """The runtime could not provide a pool (executor falls back to serial)."""
+
+
+class _RuntimePoolProvider:
+    """Supervision's view of the persistent pool (runtime lock held).
+
+    The executor's supervisor drives recovery through this shim while
+    :meth:`PoolRuntime.starmap` holds the runtime lock: ``recycle``
+    tears the poisoned pool down and the next ``pool()`` call re-forks
+    it through the ordinary ``_ensure_pool_locked`` recipe — bumping the
+    runtime's ``forks`` counter, so chaos tests can count recoveries the
+    same way perf tests count amortized forks.
+    """
+
+    pool_errors = (PoolUnavailableError,)
+
+    def __init__(self, runtime: "PoolRuntime", workers: int):
+        self._runtime = runtime
+        self._workers = workers
+
+    def pool(self):
+        return self._runtime._ensure_pool_locked(self._workers)
+
+    def worker_state(self) -> frozenset:
+        return _pool_worker_state(self._runtime._pool)
+
+    def recycle(self) -> None:
+        self._runtime._teardown_locked()
 
 
 class PoolRuntime:
@@ -90,20 +120,38 @@ class PoolRuntime:
         self.forks = 0
 
     # ------------------------------------------------------------- execution
-    def starmap(self, fn, tasks, *, workers: int) -> list:
+    def starmap(self, fn, tasks, *, workers: int, policy=None, plan=None,
+                base: int = 0) -> list:
         """Run ``fn(*task)`` for every task on the persistent pool.
 
         Raises :class:`PoolUnavailableError` when no pool can be created
         (the executor then degrades to its serial path); exceptions from
         ``fn`` propagate unchanged and leave the pool usable.
+
+        Dispatch is supervised when the resolved ``policy`` (or an
+        active fault plan) asks for it: the executor's supervisor runs
+        under the runtime lock through a provider shim, so a worker
+        death or blown deadline recycles *this* pool in place —
+        ``forks`` counts the recovery — instead of poisoning the
+        session.  A :class:`~repro.errors.RetryBudgetError` likewise
+        leaves the runtime recycled and reusable.
         """
         workers = _validate_workers(workers)
+        policy = resolve_retry_policy(policy)
         with self._lock:
             if self._closed:
                 raise PoolUnavailableError("pool runtime is closed")
             self._cancel_timer_locked()
             pool = self._ensure_pool_locked(workers)
             try:
+                if policy.supervises or (
+                    plan is not None and plan.has_shard_faults()
+                ):
+                    provider = _RuntimePoolProvider(self, workers)
+                    return _supervise(
+                        fn, tasks, policy=policy, plan=plan, base=base,
+                        provider=provider,
+                    )
                 return pool.starmap(fn, tasks)
             finally:
                 self._last_used = time.monotonic()

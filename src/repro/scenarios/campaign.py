@@ -34,6 +34,10 @@ size* with count-based samplers.
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,12 +49,13 @@ from repro.core.metrics import (
 )
 from repro.core.streaming import apply_sampler
 from repro.core.variance import instance_means
-from repro.errors import ParameterError, ReproError
+from repro.errors import ExecutionError, ParameterError, ReproError
 from repro.experiments.config import MASTER_SEED
 from repro.hurst.confidence import hurst_confidence_interval
 from repro.hurst.registry import estimate_hurst
 from repro.parallel import parallel_tail_probabilities
-from repro.parallel.executor import default_workers
+from repro.parallel.executor import RetryPolicy, default_workers, retry_policy
+from repro.parallel.runtime import active_runtime
 from repro.queueing.norros import overflow_probability
 from repro.queueing.simulation import queue_occupancy, utilisation_for_load
 from repro.scenarios.registry import available_scenarios, get_scenario
@@ -320,13 +325,48 @@ class CampaignSummary:
     executed: int
     skipped: int
     store: ResultStore
+    quarantined: int = 0
 
     def render(self) -> str:
+        quarantine = (
+            f" quarantined={self.quarantined}" if self.quarantined else ""
+        )
         return (
             f"campaign {self.campaign}: cells={self.n_cells} "
-            f"executed={self.executed} skipped={self.skipped} "
-            f"-> {self.store.results_path}"
+            f"executed={self.executed} skipped={self.skipped}"
+            f"{quarantine} -> {self.store.results_path}"
         )
+
+
+@contextmanager
+def _sigterm_as_interrupt():
+    """Treat SIGTERM like SIGINT for the duration of a campaign.
+
+    An orchestrator's polite kill must get the same clean shutdown a
+    Ctrl-C gets: the store is already durable per append, so all that
+    remains is tearing the worker pool down instead of orphaning it.
+    Only the main thread may install signal handlers; elsewhere this is
+    a no-op and SIGTERM keeps its default (immediate) effect.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    owner = os.getpid()
+
+    def _raise(signum, frame):
+        if os.getpid() != owner:
+            # Forked pool workers inherit this handler; a terminated
+            # worker must just die, not raise into its task loop.
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+            return
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _raise)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def expand_cells(scenario_names=None, *, smoke: bool = False) -> list[Cell]:
@@ -360,6 +400,7 @@ def run_campaign(
     workers: int | None = None,
     resume: bool = False,
     max_cells: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> CampaignSummary:
     """Run (or resume) a campaign over the named scenarios.
 
@@ -368,6 +409,16 @@ def run_campaign(
     sets the session sharding default for every ensemble the cells run.
     ``max_cells`` caps how many *new* cells this invocation executes —
     the hook the interruption tests (and incremental jobs) use.
+
+    Failure handling: ``retry`` (default: the session
+    :class:`~repro.parallel.RetryPolicy`) governs the executor's
+    worker-loss/deadline supervision under every cell.  A cell whose
+    retry budget is exhausted is *quarantined* — recorded in the store's
+    sidecar, counted in the summary — and the campaign moves on; the
+    next ``resume=True`` run re-attempts exactly those cells.  SIGINT
+    and SIGTERM shut down cleanly: results are durable per append, and
+    the persistent pool (when one is active) is torn down rather than
+    orphaned.
     """
     if max_cells is not None and max_cells < 0:
         raise ParameterError(f"max_cells must be >= 0, got {max_cells}")
@@ -376,20 +427,44 @@ def run_campaign(
         results_dir, campaign, seed=seed, cells=cells, smoke=smoke,
         resume=resume,
     )
-    executed = skipped = 0
-    with default_workers(workers):
-        for cell in cells:
-            if store.is_completed(cell.key):
-                skipped += 1
-                continue
-            if max_cells is not None and executed >= max_cells:
-                break
-            store.append(evaluate_cell(cell, campaign=campaign, seed=seed))
-            executed += 1
+    executed = skipped = quarantined = 0
+    try:
+        with _sigterm_as_interrupt(), default_workers(workers), \
+                retry_policy(retry):
+            for cell in cells:
+                if store.is_completed(cell.key):
+                    skipped += 1
+                    continue
+                if max_cells is not None and executed >= max_cells:
+                    break
+                try:
+                    record = evaluate_cell(cell, campaign=campaign, seed=seed)
+                except ExecutionError as exc:
+                    store.quarantine({
+                        "key": cell.key,
+                        "label": cell_label(campaign, cell),
+                        "error": {
+                            "type": type(exc).__name__,
+                            "message": str(exc),
+                        },
+                    })
+                    quarantined += 1
+                    continue
+                store.append(record)
+                executed += 1
+    except KeyboardInterrupt:
+        # Appends are fsync-durable, so the store needs no flush; what a
+        # kill must not leave behind is a live worker pool.
+        runtime = active_runtime()
+        if runtime is not None:
+            runtime.restart()
+        raise
+    store.finalize([cell.key for cell in cells])
     return CampaignSummary(
         campaign=campaign,
         n_cells=len(cells),
         executed=executed,
         skipped=skipped,
         store=store,
+        quarantined=quarantined,
     )

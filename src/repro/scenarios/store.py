@@ -18,6 +18,26 @@ record is serialised canonically (sorted keys, no whitespace, NaN
 mapped to ``null``), a killed-then-resumed campaign converges to a store
 byte-identical to an uninterrupted run.  Nothing in the store depends on
 wall-clock time or worker count.
+
+Integrity and quarantine (the fault-tolerance additions):
+
+* every appended record embeds a CRC-32 of its own canonical JSON under
+  the ``"_crc32"`` key (which sorts first), verified on resume and on
+  every read — corruption anywhere *before* the repairable tail raises
+  :class:`~repro.errors.StoreIntegrityError` instead of silently
+  dropping or re-running completed work;
+* a cell whose retry budget is exhausted is recorded in the
+  ``quarantine.jsonl`` sidecar (and counted in the manifest) rather than
+  aborting the campaign; a ``resume`` open clears the sidecar so exactly
+  the quarantined cells are re-attempted;
+* once every cell has completed, :meth:`ResultStore.finalize` compacts
+  the store — reordering raw record lines into cell run order and
+  dropping the quarantine bookkeeping — so a faulty-then-resumed
+  campaign converges byte-identically to an undisturbed one.
+
+The :mod:`repro.faults` store directives (``torn:append=N``,
+``corrupt:append=N``) hook :meth:`ResultStore.append` to manufacture
+exactly the failures this machinery recovers from.
 """
 
 from __future__ import annotations
@@ -26,14 +46,20 @@ import hashlib
 import json
 import os
 import platform
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ParameterError
+from repro.errors import InjectedFault, ParameterError, StoreIntegrityError
+from repro.faults import active_plan
 from repro.parallel.executor import machine_metadata
 
 SCHEMA = "repro-scenarios v1"
+
+#: Record key carrying the per-record checksum.  The underscore makes it
+#: sort ahead of every data field, so checksummed lines stay canonical.
+CHECKSUM_KEY = "_crc32"
 
 
 def jsonify(value):
@@ -63,6 +89,56 @@ def canonical_json(record) -> str:
                       separators=(",", ":"), allow_nan=False)
 
 
+def _checksum(payload: str) -> str:
+    """CRC-32 (hex) of a record's canonical JSON, sans the checksum field."""
+    return f"{zlib.crc32(payload.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
+
+def checksummed_line(record) -> str:
+    """A record's canonical store line with its embedded ``_crc32``."""
+    body = jsonify(record)
+    body.pop(CHECKSUM_KEY, None)
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                         allow_nan=False)
+    body[CHECKSUM_KEY] = _checksum(payload)
+    return json.dumps(body, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def _flip_first_digit(line: str) -> str:
+    """Damage a serialised record for the ``corrupt`` fault directive.
+
+    Changing one digit keeps the line valid JSON of the same length —
+    the store stays parseable, so only the checksum can catch it, which
+    is exactly the failure mode the CRC exists for.  The search starts
+    past the ``"_crc32":"`` prefix: flipping the ``3`` in the key name
+    would *remove* the checksum instead of falsifying one.
+    """
+    prefix = f'"{CHECKSUM_KEY}":"'
+    start = line.find(prefix)
+    start = start + len(prefix) if start >= 0 else 0
+    for i in range(start, len(line)):
+        ch = line[i]
+        if ch.isdigit():
+            return line[:i] + str((int(ch) + 1) % 10) + line[i + 1:]
+    return line
+
+
+def record_checksum_ok(parsed: dict) -> bool:
+    """Whether a parsed store record matches its embedded checksum.
+
+    Records without a ``_crc32`` field (pre-checksum stores) pass: their
+    integrity is still guarded by JSON parseability, just not by CRC.
+    """
+    stored = parsed.get(CHECKSUM_KEY)
+    if stored is None:
+        return True
+    body = {k: v for k, v in parsed.items() if k != CHECKSUM_KEY}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"),
+                         allow_nan=False)
+    return _checksum(payload) == stored
+
+
 def grid_hash(campaign: str, seed: int, cells) -> str:
     """SHA-256 identity of a campaign's expanded grid.
 
@@ -87,7 +163,10 @@ class ResultStore:
         self.directory = Path(directory)
         self.manifest_path = self.directory / "manifest.json"
         self.results_path = self.directory / "results.jsonl"
+        self.quarantine_path = self.directory / "quarantine.jsonl"
         self._completed: set[str] = set()
+        self._quarantined: set[str] = set()
+        self._appends = 0  # this process's append count (fault addressing)
 
     # -------------------------------------------------------------- opening
     @classmethod
@@ -128,6 +207,7 @@ class ResultStore:
             store._verify_manifest(digest)
             store._repair_tail()
             store._load_completed()
+            store._reset_quarantine()
             return store
         store.directory.mkdir(parents=True, exist_ok=True)
         store._write_manifest({
@@ -170,7 +250,15 @@ class ResultStore:
 
     # ------------------------------------------------------------ the tail
     def _repair_tail(self) -> None:
-        """Cut a kill-truncated final line back to the last complete record."""
+        """Cut a kill-truncated final line back to the last complete record.
+
+        Only the *final* line is repairable: a truncated append (no
+        newline), a complete line that is not JSON, or a complete line
+        failing its checksum — all states a kill or torn write can leave
+        the tail in.  The cut cell simply re-runs.  Anything wrong
+        before the tail is mid-file corruption and is reported by
+        :meth:`_load_completed`, never repaired away.
+        """
         raw = self.results_path.read_bytes()
         if not raw:
             return
@@ -183,18 +271,42 @@ class ResultStore:
             # corrupt complete line (disk trouble) must not poison resume.
             last = keep[:-1].rpartition(b"\n")[2]
             try:
-                json.loads(last.decode("utf-8"))
+                parsed = json.loads(last.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 keep = keep[: len(keep) - len(last) - 1]
+            else:
+                if isinstance(parsed, dict) and not record_checksum_ok(parsed):
+                    keep = keep[: len(keep) - len(last) - 1]
         if keep != raw:
             with open(self.results_path, "r+b") as fh:
                 fh.truncate(len(keep))
 
     def _load_completed(self) -> None:
+        """Index completed cells, verifying every record's checksum.
+
+        Runs after :meth:`_repair_tail`, so any record that fails to
+        parse or fails its CRC here sits *before* the repairable tail —
+        resuming over it would silently drop (or worse, trust) damaged
+        completed work, so it raises a named
+        :class:`~repro.errors.StoreIntegrityError` instead.
+        """
         self._completed = set()
         with open(self.results_path, encoding="utf-8") as fh:
-            for line in fh:
-                record = json.loads(line)
+            for index, line in enumerate(fh):
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    raise StoreIntegrityError(
+                        f"corrupt record at line {index + 1} of "
+                        f"{self.results_path}: not valid JSON (mid-file "
+                        "corruption; only the final line is repairable)"
+                    ) from None
+                if not (isinstance(record, dict) and record_checksum_ok(record)):
+                    raise StoreIntegrityError(
+                        f"corrupt record at line {index + 1} of "
+                        f"{self.results_path}: checksum mismatch (mid-file "
+                        "corruption; only the final line is repairable)"
+                    )
                 self._completed.add(record["key"])
 
     # ------------------------------------------------------------- records
@@ -207,8 +319,28 @@ class ResultStore:
 
     def append(self, record: dict) -> None:
         """Durably append one completed cell (fsync: a kill loses at most
-        the record being written, never an earlier one)."""
-        line = canonical_json(record) + "\n"
+        the record being written, never an earlier one).
+
+        Each line embeds its own CRC-32; an active :mod:`repro.faults`
+        plan may target this append with ``torn`` (write a partial line,
+        then abort like a killed process) or ``corrupt`` (flip a digit
+        after serialisation, so the line parses but fails its CRC).
+        """
+        self._appends += 1
+        line = checksummed_line(record) + "\n"
+        plan = active_plan()
+        fault = plan.store_fault(self._appends) if plan is not None else None
+        if fault is not None and fault.kind == "torn":
+            with open(self.results_path, "a", encoding="utf-8") as fh:
+                fh.write(line[: max(len(line) // 2, 1)])
+                fh.flush()
+                os.fsync(fh.fileno())
+            raise InjectedFault(
+                f"injected fault {fault.render()}: tore append "
+                f"#{self._appends} to {self.results_path}"
+            )
+        if fault is not None and fault.kind == "corrupt":
+            line = _flip_first_digit(line)
         with open(self.results_path, "a", encoding="utf-8") as fh:
             fh.write(line)
             fh.flush()
@@ -218,25 +350,122 @@ class ResultStore:
     def records(self) -> list[dict]:
         """Every completed cell record, in run (= file) order.
 
-        Read-only tolerant of a kill-truncated final line (reports on an
-        interrupted campaign must render the completed cells, and the
-        next ``resume`` open repairs the file); corruption anywhere
-        *before* the tail is a real integrity problem and raises.
+        Read-only tolerant of a kill-truncated (or checksum-failing)
+        final line (reports on an interrupted campaign must render the
+        completed cells, and the next ``resume`` open repairs the file);
+        corruption anywhere *before* the tail is a real integrity
+        problem and raises :class:`~repro.errors.StoreIntegrityError`.
         """
         if not self.results_path.exists():
             raise ParameterError(f"no campaign results at {self.results_path}")
-        with open(self.results_path, encoding="utf-8") as fh:
-            lines = fh.readlines()
+        # Bytes, decoded per line: a kill can tear the tail mid multi-byte
+        # character, which must read as "torn", not as a decoding crash.
+        lines = self.results_path.read_bytes().splitlines(keepends=True)
         out = []
         for index, line in enumerate(lines):
+            last = index == len(lines) - 1
             try:
-                out.append(json.loads(line))
-            except json.JSONDecodeError:
-                if index == len(lines) - 1:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if last:
                     break
-                raise ParameterError(
+                raise StoreIntegrityError(
                     f"corrupt record at line {index + 1} of "
                     f"{self.results_path}; the store is append-only and "
                     "only its final line may be torn"
                 ) from None
+            if isinstance(record, dict) and not record_checksum_ok(record):
+                if last:
+                    break
+                raise StoreIntegrityError(
+                    f"corrupt record at line {index + 1} of "
+                    f"{self.results_path}: checksum mismatch; the store is "
+                    "append-only and only its final line may be torn"
+                )
+            out.append(record)
         return out
+
+    # ---------------------------------------------------------- quarantine
+    def quarantine(self, record: dict) -> None:
+        """Record a cell whose retry budget ran out, without failing the run.
+
+        The record lands in the ``quarantine.jsonl`` sidecar — canonical
+        JSON with a checksum, like any result — and the manifest's
+        ``"quarantined"`` count is updated, so an interrupted-or-degraded
+        campaign is visibly incomplete until a ``resume`` re-attempts
+        exactly these cells.
+        """
+        line = checksummed_line(record) + "\n"
+        with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._quarantined.add(record["key"])
+        manifest = self.read_manifest()
+        manifest["quarantined"] = len(self._quarantined)
+        self._write_manifest(manifest)
+
+    def _reset_quarantine(self) -> None:
+        """Drop quarantine bookkeeping on resume.
+
+        Quarantined cells were never appended to the results, so the
+        ordinary skip-completed loop re-attempts exactly them; stale
+        sidecar records would only shadow the re-attempt's outcome.
+        """
+        self._quarantined = set()
+        if self.quarantine_path.exists():
+            self.quarantine_path.unlink()
+        manifest = self.read_manifest()
+        if manifest.pop("quarantined", None) is not None:
+            self._write_manifest(manifest)
+
+    def is_quarantined(self, key: str) -> bool:
+        return key in self._quarantined
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self._quarantined)
+
+    def quarantined_records(self) -> list[dict]:
+        """The quarantine sidecar's records, in file order (may be empty)."""
+        if not self.quarantine_path.exists():
+            return []
+        with open(self.quarantine_path, encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    # ------------------------------------------------------------ finalize
+    def finalize(self, keys_in_order) -> bool:
+        """Compact a *complete* store into canonical cell order.
+
+        A faulty run appends quarantine-rescued cells on resume, i.e.
+        after cells that originally came later — same bytes per record,
+        different line order.  Once every key in ``keys_in_order`` is
+        present, this reorders the raw record lines to match (atomic
+        tmp-write + rename) and drops the quarantine bookkeeping, making
+        the store byte-identical to an undisturbed run's.  Returns True
+        when the store is complete (compacted or already canonical);
+        False — touching nothing — while cells are still missing.
+        """
+        keys = list(keys_in_order)
+        if self._quarantined or set(keys) != self._completed or \
+                len(keys) != len(self._completed):
+            return False
+        with open(self.results_path, "rb") as fh:
+            lines = fh.readlines()
+        by_key = {}
+        for line in lines:
+            by_key[json.loads(line)["key"]] = line
+        ordered = [by_key[key] for key in keys]
+        if ordered != lines:
+            tmp = self.results_path.with_suffix(".jsonl.tmp")
+            with open(tmp, "wb") as fh:
+                fh.writelines(ordered)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.results_path)
+        if self.quarantine_path.exists():
+            self.quarantine_path.unlink()
+        manifest = self.read_manifest()
+        if manifest.pop("quarantined", None) is not None:
+            self._write_manifest(manifest)
+        return True
