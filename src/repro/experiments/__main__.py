@@ -5,7 +5,8 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25] [--runtime persistent]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR6.json]
+    python -m repro.experiments run fig18 [--kernels on]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR8.json]
     python -m repro.experiments runtime
     python -m repro.experiments scenarios list
     python -m repro.experiments scenarios run [NAME ...] [--smoke] [--resume]
@@ -17,8 +18,11 @@ which sets the session default; results never depend on either.
 ``--runtime persistent`` (or ``REPRO_RUNTIME=persistent``) keeps one
 worker pool alive across every figure/campaign cell instead of forking
 per parallel region — same outputs, less fixed overhead for many-cell
-sweeps.  The ``runtime`` subcommand prints the parallel configuration
-this machine and environment would run with.
+sweeps.  ``--kernels on`` (or ``REPRO_KERNELS=on``) enables the
+optional compiled BSS replay kernel — bit-identical results, faster
+replay tails when numba is installed, silently pure-NumPy when it is
+not.  The ``runtime`` subcommand prints the parallel + native-tier
+configuration this machine and environment would run with.
 
 ``scenarios run`` executes declarative evaluation campaigns
 (:mod:`repro.scenarios`) into an append-only result store under
@@ -67,6 +71,11 @@ def main(argv=None) -> int:
                              "every figure (amortizes fork); 'fresh' forks "
                              "per parallel region.  Results are identical; "
                              "default comes from REPRO_RUNTIME (else fresh)")
+    runner.add_argument("--kernels", choices=("on", "off"), default=None,
+                        help="enable the optional compiled BSS replay "
+                             "kernel (bit-identical results; pure NumPy "
+                             "when numba is absent).  Default comes from "
+                             "REPRO_KERNELS (else off)")
     sub.add_parser(
         "runtime",
         help="show the parallel runtime configuration for this "
@@ -79,12 +88,16 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR6.json)")
+                       help="JSON report path (default BENCH_PR8.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,
                        help="also record workers=1 vs workers=N parallel-"
                             "scaling rows for the sharded ensemble engine")
+    bench.add_argument("--kernels", choices=("on", "off"), default=None,
+                       help="run the suite with the compiled kernel tier "
+                            "enabled/disabled (the dedicated kernel row "
+                            "times both regardless)")
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -117,6 +130,9 @@ def main(argv=None) -> int:
                           default=None,
                           help="worker-pool lifetime across cells (default "
                                "from REPRO_RUNTIME, else fresh)")
+    scen_run.add_argument("--kernels", choices=("on", "off"), default=None,
+                          help="compiled BSS replay kernel tier (results "
+                               "identical; default from REPRO_KERNELS)")
     scen_run.add_argument("--max-attempts", type=int, default=None,
                           help="per-shard retry budget for worker-loss/"
                                "deadline recovery (default 3; 1 disables "
@@ -141,9 +157,11 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "runtime":
+        from repro.kernels import kernels_enabled, numba_available
         from repro.parallel import (
             get_default_workers,
             pool_start_method,
+            prefetch_backend_from_env,
             sharing_enabled,
             suggested_workers,
         )
@@ -157,10 +175,18 @@ def main(argv=None) -> int:
         print(f"runtime_mode:       {runtime_mode_from_env()} "
               f"(REPRO_RUNTIME={os.environ.get('REPRO_RUNTIME', 'unset')})")
         print(f"trace_sharing:      {'on' if sharing_enabled() else 'off'}")
+        print(f"prefetch_backend:   {prefetch_backend_from_env()} "
+              f"(REPRO_PREFETCH={os.environ.get('REPRO_PREFETCH', 'unset')})")
+        print(f"kernels:            {'on' if kernels_enabled() else 'off'} "
+              f"(REPRO_KERNELS={os.environ.get('REPRO_KERNELS', 'unset')}, "
+              f"numba={'present' if numba_available() else 'absent'})")
         return 0
 
     if args.command == "bench":
+        import contextlib
+
         from repro.experiments.bench import main as bench_main
+        from repro.kernels import kernels as kernels_scope
 
         bench_argv = []
         if args.quick:
@@ -171,7 +197,12 @@ def main(argv=None) -> int:
             bench_argv.extend(["--seed", str(args.seed)])
         if args.workers is not None:
             bench_argv.extend(["--workers", str(args.workers)])
-        return bench_main(bench_argv)
+        scope = (
+            kernels_scope(args.kernels == "on") if args.kernels is not None
+            else contextlib.nullcontext()
+        )
+        with scope:
+            return bench_main(bench_argv)
 
     if args.command == "scenarios":
         return _scenarios_main(args)
@@ -180,7 +211,9 @@ def main(argv=None) -> int:
     # A persistent scope keeps one pool alive across *all* requested
     # figures — the fork cost is paid once per session, not per
     # figure (and not per panel cell).  Outputs are identical.
-    with execution_scope(workers=args.workers, runtime=args.runtime):
+    kernels = None if args.kernels is None else args.kernels == "on"
+    with execution_scope(workers=args.workers, runtime=args.runtime,
+                         kernels=kernels):
         for name in names:
             start = time.perf_counter()
             panels = run_experiment(name, scale=args.scale, seed=args.seed)
@@ -239,9 +272,11 @@ def _scenarios_main(args) -> int:
         fault_plan(args.faults) if args.faults is not None
         else contextlib.nullcontext()
     )
+    kernels = None if args.kernels is None else args.kernels == "on"
     start = time.perf_counter()
     with faults_scope, execution_scope(workers=args.workers,
-                                       runtime=args.runtime):
+                                       runtime=args.runtime,
+                                       kernels=kernels):
         summary = run_campaign(
             args.names or None,
             campaign=campaign,

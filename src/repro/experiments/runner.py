@@ -78,16 +78,19 @@ def median_instance_means(
 
 
 @contextlib.contextmanager
-def execution_scope(*, workers: int | None = None, runtime: str | None = None):
-    """The CLI's run context: session workers default + pool runtime.
+def execution_scope(*, workers: int | None = None, runtime: str | None = None,
+                    kernels: bool | None = None):
+    """The CLI's run context: workers default + pool runtime + kernels.
 
     One scope serves every harness entry point (figure runs, scenario
     campaigns): ``workers`` becomes the session sharding default for the
-    block, and ``runtime="persistent"`` keeps one worker pool alive
-    across every parallel region inside it (``None`` consults
-    ``REPRO_RUNTIME``).  Results never depend on either — the scope is
-    purely a wall-clock lever.
+    block, ``runtime="persistent"`` keeps one worker pool alive across
+    every parallel region inside it (``None`` consults
+    ``REPRO_RUNTIME``), and ``kernels=True`` enables the optional
+    compiled tier (``None`` consults ``REPRO_KERNELS``).  Results never
+    depend on any of them — the scope is purely a wall-clock lever.
     """
+    from repro.kernels import kernels as kernels_scope
     from repro.parallel import default_workers
     from repro.parallel.runtime import pool_runtime, runtime_mode_from_env
 
@@ -99,7 +102,11 @@ def execution_scope(*, workers: int | None = None, runtime: str | None = None):
     pool_scope = (
         pool_runtime() if mode == "persistent" else contextlib.nullcontext()
     )
-    with pool_scope, default_workers(workers):
+    kernel_scope = (
+        kernels_scope(kernels) if kernels is not None
+        else contextlib.nullcontext()
+    )
+    with pool_scope, kernel_scope, default_workers(workers):
         yield
 
 

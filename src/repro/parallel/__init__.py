@@ -73,8 +73,10 @@ from repro.parallel.state import (
     merge_states,
 )
 from repro.parallel.streaming import (
+    TraceChunkSource,
     chunked,
     parallel_chunk_tail_probabilities,
+    prefetch_backend_from_env,
     prefetch_chunks,
     streamed_moments,
     streamed_queue_tail_probabilities,
@@ -129,6 +131,8 @@ __all__ = [
     "parallel_tail_probabilities",
     # streaming
     "chunked",
+    "TraceChunkSource",
+    "prefetch_backend_from_env",
     "prefetch_chunks",
     "streamed_moments",
     "streamed_tail_probabilities",

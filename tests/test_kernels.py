@@ -1,0 +1,171 @@
+"""Tests for the optional compiled-kernel tier (:mod:`repro.kernels`).
+
+The toggle machinery must behave exactly like the other ``REPRO_*``
+levers: lazy env reads, context overrides beating the environment,
+malformed values raising :class:`ParameterError` naming the variable,
+and enabled-but-unavailable degrading to the pure path with one loud
+warning.  Bit-identity of the replay algorithm itself is pinned in
+``test_perf_parity.py``; here we pin the plumbing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels_mod
+from repro.errors import ParameterError
+from repro.kernels import (
+    bss_replay_kernel,
+    kernels,
+    kernels_enabled,
+    numba_available,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_toggle(monkeypatch):
+    """Each test starts with no env setting and a fresh warning latch."""
+    monkeypatch.delenv("REPRO_KERNELS", raising=False)
+    monkeypatch.setattr(kernels_mod, "_WARNED", False)
+    assert not kernels_mod._OVERRIDES  # no scope leaked from another test
+    yield
+    assert not kernels_mod._OVERRIDES
+
+
+class TestToggle:
+    def test_default_is_off(self):
+        assert kernels_enabled() is False
+
+    def test_context_manager_enables_and_restores(self):
+        with kernels(True):
+            assert kernels_enabled() is True
+        assert kernels_enabled() is False
+
+    def test_nested_innermost_wins(self):
+        with kernels(True):
+            with kernels(False):
+                assert kernels_enabled() is False
+            assert kernels_enabled() is True
+
+    def test_context_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "on")
+        with kernels(False):
+            assert kernels_enabled() is False
+        assert kernels_enabled() is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("on", True), ("1", True), ("true", True), ("YES", True),
+        ("off", False), ("0", False), ("false", False), ("no", False),
+        ("", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_KERNELS", value)
+        assert kernels_enabled() is expected
+
+    def test_env_read_lazily(self, monkeypatch):
+        """The variable is consulted per call, not cached at import."""
+        assert kernels_enabled() is False
+        monkeypatch.setenv("REPRO_KERNELS", "on")
+        assert kernels_enabled() is True
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "maybe")
+        with pytest.raises(ParameterError, match="REPRO_KERNELS"):
+            kernels_enabled()
+
+
+class TestKernelResolution:
+    def test_disabled_returns_none(self):
+        assert bss_replay_kernel() is None
+
+    def test_import_repro_never_imports_numba(self):
+        """The pure path must not pay for (or require) numba."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import repro.core.bss\n"
+            "import repro.kernels\n"
+            "sys.exit(1 if 'numba' in sys.modules else 0)\n"
+        )
+        proc = subprocess.run([sys.executable, "-c", code])
+        assert proc.returncode == 0
+
+    def test_enabled_without_numba_warns_once_and_degrades(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(kernels_mod, "_NUMBA", False)
+        with kernels(True):
+            with pytest.warns(RuntimeWarning, match="numba"):
+                assert bss_replay_kernel() is None
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second call: silent
+                assert bss_replay_kernel() is None
+
+    def test_enabled_with_numba_returns_callable(self, monkeypatch):
+        """Route the interpreted replay through the hook when numba is
+        absent — same contract, no compilation."""
+        if not numba_available():
+            monkeypatch.setattr(kernels_mod, "_NUMBA", True)
+            monkeypatch.setattr(
+                kernels_mod, "_REPLAY_KERNEL", kernels_mod._replay_tail
+            )
+        with kernels(True):
+            assert callable(bss_replay_kernel())
+
+
+class TestReplayTailAlgorithm:
+    """The interpreted kernel function against a hand-computed case."""
+
+    def test_accepts_extras_and_folds_threshold(self):
+        # Two intervals of 4 with one candidate extra at offset 2.
+        values = np.array([10.0, 0, 9.0, 0, 10.0, 0, 0.1, 0])
+        reg_idx = np.array([0, 4], dtype=np.int64)
+        reg_val = values[reg_idx]
+        offsets = np.array([2], dtype=np.int64)
+        out_idx = np.empty(8, dtype=np.int64)
+        out_val = np.empty(8, dtype=np.float64)
+        count = kernels_mod._replay_tail(
+            values, reg_idx, reg_val, offsets,
+            0, 0.0, 0, 0.0, 1.0, out_idx, out_val,
+        )
+        # Interval 0: 10 > 0 triggers; extra values[2]=9 > 0 accepted;
+        # threshold -> (10+9)/2 = 9.5.  Interval 1: 10 > 9.5 triggers;
+        # extra values[6]=0.1 < threshold rejected.
+        assert count == 1
+        assert out_idx[0] == 2
+        assert out_val[0] == 9.0
+
+    def test_out_of_range_extra_breaks_scan(self):
+        values = np.array([5.0, 1.0])
+        reg_idx = np.array([0], dtype=np.int64)
+        reg_val = values[reg_idx]
+        offsets = np.array([1, 2, 3], dtype=np.int64)
+        out_idx = np.empty(3, dtype=np.int64)
+        out_val = np.empty(3, dtype=np.float64)
+        count = kernels_mod._replay_tail(
+            values, reg_idx, reg_val, offsets,
+            0, 0.0, 0, 0.0, 0.1, out_idx, out_val,
+        )
+        assert count == 1  # offset 1 accepted, offsets 2/3 out of range
+        assert out_idx[0] == 1
+
+
+class TestExecutionScopeWiring:
+    def test_execution_scope_kernels_flag(self):
+        from repro.experiments.runner import execution_scope
+
+        with execution_scope(kernels=True):
+            assert kernels_enabled() is True
+        assert kernels_enabled() is False
+
+    def test_execution_scope_default_inherits_env(self, monkeypatch):
+        from repro.experiments.runner import execution_scope
+
+        monkeypatch.setenv("REPRO_KERNELS", "on")
+        with execution_scope():
+            assert kernels_enabled() is True
