@@ -10,7 +10,8 @@ Usage::
     python -m repro.experiments runtime
     python -m repro.experiments scenarios list
     python -m repro.experiments scenarios run [NAME ...] [--smoke] [--resume]
-        [--max-attempts N] [--shard-deadline S] [--faults PLAN]
+        [--schedule cells] [--max-attempts N] [--shard-deadline S]
+        [--faults PLAN]
     python -m repro.experiments scenarios report --campaign NAME
 
 ``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
@@ -21,8 +22,13 @@ per parallel region — same outputs, less fixed overhead for many-cell
 sweeps.  ``--kernels on`` (or ``REPRO_KERNELS=on``) enables the
 optional compiled BSS replay kernel — bit-identical results, faster
 replay tails when numba is installed, silently pure-NumPy when it is
-not.  The ``runtime`` subcommand prints the parallel + native-tier
-configuration this machine and environment would run with.
+not.  ``--schedule`` (or ``REPRO_SCHEDULE``) picks where parallelism
+sits: ``ensembles`` shards inside each cell/row, ``cells`` shards the
+campaign's pending-cell list (or a panel's independent rows) across the
+pool, and ``auto`` — the default — decides per workload; stores and
+figures are byte-identical in every mode.  The ``runtime`` subcommand
+prints the parallel + native-tier configuration this machine and
+environment would run with.
 
 ``scenarios run`` executes declarative evaluation campaigns
 (:mod:`repro.scenarios`) into an append-only result store under
@@ -76,6 +82,13 @@ def main(argv=None) -> int:
                              "kernel (bit-identical results; pure NumPy "
                              "when numba is absent).  Default comes from "
                              "REPRO_KERNELS (else off)")
+    runner.add_argument("--schedule", choices=("auto", "cells", "ensembles"),
+                        default=None,
+                        help="where parallelism sits: 'ensembles' shards "
+                             "inside each panel row, 'cells' interleaves "
+                             "independent rows across the pool, 'auto' "
+                             "decides per panel.  Results are identical; "
+                             "default comes from REPRO_SCHEDULE (else auto)")
     sub.add_parser(
         "runtime",
         help="show the parallel runtime configuration for this "
@@ -133,6 +146,15 @@ def main(argv=None) -> int:
     scen_run.add_argument("--kernels", choices=("on", "off"), default=None,
                           help="compiled BSS replay kernel tier (results "
                                "identical; default from REPRO_KERNELS)")
+    scen_run.add_argument("--schedule",
+                          choices=("auto", "cells", "ensembles"),
+                          default=None,
+                          help="'cells' shards the campaign's pending-cell "
+                               "list across the pool, 'ensembles' "
+                               "parallelises inside each cell, 'auto' picks "
+                               "per campaign.  The store is byte-identical "
+                               "either way; default from REPRO_SCHEDULE "
+                               "(else auto)")
     scen_run.add_argument("--max-attempts", type=int, default=None,
                           help="per-shard retry budget for worker-loss/"
                                "deadline recovery (default 3; 1 disables "
@@ -159,6 +181,7 @@ def main(argv=None) -> int:
     if args.command == "runtime":
         from repro.kernels import kernels_enabled, numba_available
         from repro.parallel import (
+            get_default_schedule,
             get_default_workers,
             pool_start_method,
             prefetch_backend_from_env,
@@ -174,6 +197,8 @@ def main(argv=None) -> int:
               f"(REPRO_WORKERS={os.environ.get('REPRO_WORKERS', 'unset')})")
         print(f"runtime_mode:       {runtime_mode_from_env()} "
               f"(REPRO_RUNTIME={os.environ.get('REPRO_RUNTIME', 'unset')})")
+        print(f"schedule:           {get_default_schedule()} "
+              f"(REPRO_SCHEDULE={os.environ.get('REPRO_SCHEDULE', 'unset')})")
         print(f"trace_sharing:      {'on' if sharing_enabled() else 'off'}")
         print(f"prefetch_backend:   {prefetch_backend_from_env()} "
               f"(REPRO_PREFETCH={os.environ.get('REPRO_PREFETCH', 'unset')})")
@@ -213,7 +238,7 @@ def main(argv=None) -> int:
     # figure (and not per panel cell).  Outputs are identical.
     kernels = None if args.kernels is None else args.kernels == "on"
     with execution_scope(workers=args.workers, runtime=args.runtime,
-                         kernels=kernels):
+                         kernels=kernels, schedule=args.schedule):
         for name in names:
             start = time.perf_counter()
             panels = run_experiment(name, scale=args.scale, seed=args.seed)
@@ -276,7 +301,8 @@ def _scenarios_main(args) -> int:
     start = time.perf_counter()
     with faults_scope, execution_scope(workers=args.workers,
                                        runtime=args.runtime,
-                                       kernels=kernels):
+                                       kernels=kernels,
+                                       schedule=args.schedule):
         summary = run_campaign(
             args.names or None,
             campaign=campaign,

@@ -14,7 +14,7 @@ Entry points
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR8.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR9.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
 records the scaling rows in the report.  Every run also records the
@@ -22,8 +22,9 @@ engine's dispatch-overhead comparisons: zero-copy shared traces vs
 PR 2's pickled copies, the persistent pool runtime vs a fresh fork per
 call, fault-supervised dispatch vs the plain-starmap fast path,
 pipelined vs synchronous streaming ingest, joint vs per-scale
-estimator shard layouts, and the scenario campaign engine's store +
-manifest overhead against bare cell evaluation.  The
+estimator shard layouts, the scenario campaign engine's store +
+manifest overhead against bare cell evaluation, and the campaign cell
+scheduler (``schedule="cells"``) against the serial campaign loop.  The
 ``ingest_throughput`` family times the native-speed tier: block CSV
 decoding vs the per-line reference parser, the binary format vs CSV,
 and process vs thread vs no prefetch — these rows carry ``mb_per_s``
@@ -97,7 +98,7 @@ from repro.traffic.synthetic import (
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR8.json"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
 
 
 @dataclass(frozen=True)
@@ -517,6 +518,32 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
                                  seed=seed, resume=True),
             _bare_cells, repeats=repeats,
         ))
+
+        # --- campaign cell scheduler: sharded cell list vs serial --------
+        # schedule="cells" shards the pending-cell list itself across the
+        # pool (one shard per cell, cost-balanced rounds) instead of
+        # parallelising inside each cell.  The 'reference' side is the
+        # plain serial campaign; stores are byte-identical, so the row is
+        # a pure wall-clock comparison.  On a single-core machine both
+        # rows are overhead floors (planner + pool fork + result
+        # buffering, no speedup) — read them against the machine
+        # metadata in the report header; workers=1 is the control.
+        def _scheduled_campaign(n_workers: int):
+            run_campaign(scenario_names, campaign="bench",
+                         results_dir=next(fresh_dirs), smoke=True, seed=seed,
+                         workers=n_workers, schedule="cells")
+
+        def _serial_campaign():
+            run_campaign(scenario_names, campaign="bench",
+                         results_dir=next(fresh_dirs), smoke=True, seed=seed,
+                         workers=1, schedule="ensembles")
+
+        for n_workers in sorted({1, workers}):
+            results.append(_time_pair(
+                f"cell_schedule_vs_serial_w{n_workers}", len(scenario_cells),
+                lambda n_workers=n_workers: _scheduled_campaign(n_workers),
+                _serial_campaign, repeats=repeats, workers=n_workers,
+            ))
     return results
 
 

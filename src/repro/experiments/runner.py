@@ -79,19 +79,21 @@ def median_instance_means(
 
 @contextlib.contextmanager
 def execution_scope(*, workers: int | None = None, runtime: str | None = None,
-                    kernels: bool | None = None):
+                    kernels: bool | None = None, schedule: str | None = None):
     """The CLI's run context: workers default + pool runtime + kernels.
 
     One scope serves every harness entry point (figure runs, scenario
     campaigns): ``workers`` becomes the session sharding default for the
     block, ``runtime="persistent"`` keeps one worker pool alive across
     every parallel region inside it (``None`` consults
-    ``REPRO_RUNTIME``), and ``kernels=True`` enables the optional
-    compiled tier (``None`` consults ``REPRO_KERNELS``).  Results never
+    ``REPRO_RUNTIME``), ``kernels=True`` enables the optional compiled
+    tier (``None`` consults ``REPRO_KERNELS``), and ``schedule`` sets
+    the session cell-scheduling mode — ``"cells"``, ``"ensembles"``, or
+    ``"auto"`` (``None`` consults ``REPRO_SCHEDULE``).  Results never
     depend on any of them — the scope is purely a wall-clock lever.
     """
     from repro.kernels import kernels as kernels_scope
-    from repro.parallel import default_workers
+    from repro.parallel import default_schedule, default_workers
     from repro.parallel.runtime import pool_runtime, runtime_mode_from_env
 
     mode = runtime if runtime is not None else runtime_mode_from_env()
@@ -106,7 +108,8 @@ def execution_scope(*, workers: int | None = None, runtime: str | None = None,
         kernels_scope(kernels) if kernels is not None
         else contextlib.nullcontext()
     )
-    with pool_scope, kernel_scope, default_workers(workers):
+    with pool_scope, kernel_scope, default_workers(workers), \
+            default_schedule(schedule):
         yield
 
 

@@ -68,6 +68,7 @@ from repro.experiments.runner import ExperimentResult
 from repro.parallel.executor import (
     default_workers,
     pool_start_method,
+    resolve_schedule,
     resolve_workers,
     run_shards,
 )
@@ -316,43 +317,80 @@ def _warn_row_fallback(reason: str) -> None:
     )
 
 
+def _interleavable(spec: SweepSpec) -> bool:
+    """Rows the planner may interleave without a declaration.
+
+    :class:`EnsembleSeries` cells are pure functions of their
+    ``(tag, x)`` seed streams, :class:`ColumnSeries` rows are
+    precomputed, and :class:`DerivedSeries` only read the row built so
+    far — so a spec made of nothing else has independent rows by
+    construction.  :class:`CellSeries`/:class:`RowGroup` run arbitrary
+    callables against the shared context; those specs interleave only
+    when they declare ``parallel_rows`` themselves.
+    """
+    return _has_ensembles(spec) and all(
+        isinstance(s, (EnsembleSeries, ColumnSeries, DerivedSeries))
+        for s in spec.series
+    )
+
+
+def _rows_interleave(spec: SweepSpec, n: int, n_workers: int) -> bool:
+    """Should this panel shard its x grid across the pool?
+
+    ``parallel_rows`` specs without inner ensembles always do (the PR 3
+    contract — row sharding is their only parallelism).  Ensemble-bearing
+    panels with independent rows have *two* available layouts, so the
+    campaign scheduler's session mode decides, same knob as
+    ``run_campaign``: ``cells`` interleaves rows, ``ensembles`` shards
+    inside each row, and ``auto`` interleaves exactly when the per-row
+    ensembles are too narrow to cover the pool but the x grid is wide
+    enough to.  Either layout is bit-identical: rows are pure functions
+    of their seed labels.
+    """
+    if n <= 1 or n_workers <= 1:
+        return False
+    if spec.parallel_rows and not _has_ensembles(spec):
+        return True
+    if not (spec.parallel_rows or _interleavable(spec)):
+        return False
+    mode = resolve_schedule(None)
+    if mode == "cells":
+        return True
+    if mode == "ensembles":
+        return False
+    return n >= n_workers and spec.n_instances < n_workers
+
+
 def _eval_rows(spec: SweepSpec, ctx: SweepContext) -> list[dict]:
     global _ACTIVE
     n = len(spec.x_values)
     n_workers = resolve_workers(None)
-    if (
-        spec.parallel_rows
-        and n_workers > 1
-        and n > 1
-        and not _has_ensembles(spec)
-        and pool_start_method() != "fork"
-    ):
-        # Row workers receive the spec via fork inheritance; without
-        # fork there is no transport, so the rows run serially — which
-        # must be loud, exactly like the executor's pool failure.
-        _warn_row_fallback(
-            f"the platform start method is {pool_start_method()!r} "
-            "(row specs travel to workers by fork inheritance)"
-        )
-    if (
-        spec.parallel_rows
-        and n_workers > 1
-        and n > 1
-        and not _has_ensembles(spec)
-        and pool_start_method() == "fork"
-    ):
-        previous = _ACTIVE
-        _ACTIVE = (spec, ctx)
-        try:
-            # Row workers read the spec from this module global via fork
-            # inheritance, so they need a pool forked *now* — a session's
-            # persistent pool predates the global and must not serve them.
-            return run_shards(
-                _row_worker, [(i,) for i in range(n)],
-                workers=n_workers, fresh_pool=True,
-            )
-        finally:
-            _ACTIVE = previous
+    if _rows_interleave(spec, n, n_workers):
+        if pool_start_method() != "fork":
+            # Row workers receive the spec via fork inheritance; without
+            # fork there is no transport, so the rows run serially —
+            # loudly when the interleave was explicitly requested
+            # (a declared parallel_rows spec or --schedule cells), and
+            # quietly when "auto" merely would have preferred it.
+            if spec.parallel_rows or resolve_schedule(None) == "cells":
+                _warn_row_fallback(
+                    f"the platform start method is {pool_start_method()!r} "
+                    "(row specs travel to workers by fork inheritance)"
+                )
+        else:
+            previous = _ACTIVE
+            _ACTIVE = (spec, ctx)
+            try:
+                # Row workers read the spec from this module global via
+                # fork inheritance, so they need a pool forked *now* — a
+                # session's persistent pool predates the global and must
+                # not serve them.
+                return run_shards(
+                    _row_worker, [(i,) for i in range(n)],
+                    workers=n_workers, fresh_pool=True,
+                )
+            finally:
+                _ACTIVE = previous
     return [_eval_row(spec, ctx, i) for i in range(n)]
 
 

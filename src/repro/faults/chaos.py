@@ -5,7 +5,7 @@ failure mode the fault-tolerant stack claims to survive, and asserts the
 strongest property the repo has: the final store is *byte-identical* to
 the fault-free ``workers=1`` run.
 
-The script runs four acts:
+The script runs five acts:
 
 1. a fault-free ``workers=1`` reference campaign (the golden bytes);
 2. the same campaign at ``workers=2`` under an injected plan — one
@@ -16,7 +16,11 @@ The script runs four acts:
    quarantined cell (``executed == retried cells only``) and converge
    the store to the reference bytes, manifest included;
 4. a torn store append (kill mid-write) that aborts the run, followed by
-   a resume whose tail repair again converges to the reference bytes.
+   a resume whose tail repair again converges to the reference bytes;
+5. the campaign again under ``schedule="cells"`` — the cell list itself
+   sharded across the pool — with one absorbed cell-worker kill and one
+   budget-exhausting kill, whose quarantine-then-resume must converge
+   to the same reference bytes.
 
 Finally it asserts no worker processes were orphaned.  CI runs this as
 the chaos job; locally it finishes in well under a minute.
@@ -39,10 +43,14 @@ from repro.parallel.executor import RetryPolicy
 SCENARIOS = ["fgn-hurst-sweep"]
 CAMPAIGN = "chaos"
 
-#: With ``workers=2`` each cell's ensemble is one 2-task dispatch, so
-#: cell k owns shards 2k and 2k+1: shard 0 -> cell 0, shard 2 -> cell 1,
-#: shard 4 -> cell 2.
+#: Under ``schedule="ensembles"`` with ``workers=2`` each cell's
+#: ensemble is one 2-task dispatch, so cell k owns shards 2k and 2k+1:
+#: shard 0 -> cell 0, shard 2 -> cell 1, shard 4 -> cell 2.
 FAULTS = "kill:shard=0,delay:shard=2:seconds=5,kill:shard=4:attempt=*"
+
+#: Under ``schedule="cells"`` the 6 smoke cells fit one round, so shard
+#: k *is* cell k: an absorbed kill on cell 1, budget exhaustion on cell 3.
+CELL_FAULTS = "kill:shard=1,kill:shard=3:attempt=*"
 
 #: Deadline generous enough for a smoke cell's real work on a busy
 #: machine, tight enough that the injected 5 s delay always blows it.
@@ -76,7 +84,7 @@ def main(argv=None) -> int:
         with fault_plan(FAULTS):
             faulty = run_campaign(
                 SCENARIOS, campaign=CAMPAIGN, results_dir=base / "run",
-                smoke=True, workers=2, retry=RETRY,
+                smoke=True, workers=2, retry=RETRY, schedule="ensembles",
             )
         print(f"faulty:    {faulty.render()}")
         assert faulty.quarantined == 1, (
@@ -94,6 +102,7 @@ def main(argv=None) -> int:
             resumed = run_campaign(
                 SCENARIOS, campaign=CAMPAIGN, results_dir=base / "run",
                 smoke=True, workers=2, resume=True, retry=RETRY,
+                schedule="ensembles",
             )
         print(f"resumed:   {resumed.render()}")
         assert resumed.executed == 1, (
@@ -134,6 +143,38 @@ def main(argv=None) -> int:
             "fault-free workers=1 run"
         )
         print("act 4: torn tail + resume converged byte-identically")
+
+        # Act 5 — cell-level scheduling: the pending-cell list itself is
+        # sharded across the pool, and the same fault classes must be
+        # absorbed/quarantined at cell granularity.
+        with fault_plan(CELL_FAULTS):
+            scheduled = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "cells",
+                smoke=True, workers=2, retry=RETRY, schedule="cells",
+            )
+        print(f"scheduled: {scheduled.render()}")
+        assert scheduled.quarantined == 1, (
+            f"cell scheduling: expected exactly the budget-exhausted cell "
+            f"quarantined, got {scheduled.quarantined}"
+        )
+        assert scheduled.executed == scheduled.n_cells - 1, (
+            "cell scheduling: the single kill must be absorbed by a retry, "
+            f"executed {scheduled.executed}/{scheduled.n_cells}"
+        )
+        with fault_plan(None):
+            converged = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "cells",
+                smoke=True, workers=2, resume=True, retry=RETRY,
+                schedule="cells",
+            )
+        print(f"converged: {converged.render()}")
+        assert converged.executed == 1
+        assert not converged.store.quarantine_path.exists()
+        assert _store_bytes(converged) == (ref_results, ref_manifest), (
+            "cell-scheduled store is not byte-identical to the fault-free "
+            "workers=1 run"
+        )
+        print("act 5: cell-scheduled kills + resume converged byte-identically")
 
     # Nothing above may leak worker processes — chaos runs recycle pools
     # aggressively, and every recycle must reap its corpses.

@@ -37,15 +37,20 @@ from repro.parallel.ensembles import (
     parallel_tail_probabilities,
 )
 from repro.parallel.executor import (
+    SCHEDULE_MODES,
     RetryPolicy,
+    default_schedule,
     default_workers,
+    get_default_schedule,
     get_default_workers,
     get_retry_policy,
     pool_start_method,
     resolve_retry_policy,
+    resolve_schedule,
     resolve_workers,
     retry_policy,
     run_shards,
+    set_default_schedule,
     set_default_workers,
     set_retry_policy,
     sharing_enabled,
@@ -108,6 +113,11 @@ __all__ = [
     "get_default_workers",
     "default_workers",
     "resolve_workers",
+    "SCHEDULE_MODES",
+    "set_default_schedule",
+    "get_default_schedule",
+    "default_schedule",
+    "resolve_schedule",
     "suggested_workers",
     "pool_start_method",
     "trace_sharing",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import threading
 import time
 import warnings
 from dataclasses import dataclass
@@ -210,6 +211,88 @@ def sharing_enabled() -> bool:
     return _SHARE_TRACES
 
 
+#: Campaign scheduling modes — where the unit of parallel dispatch sits.
+#: ``"ensembles"`` parallelises inside each cell (the historical
+#: behaviour), ``"cells"`` shards the campaign's pending-cell list
+#: itself, ``"auto"`` lets the planner pick per campaign.
+SCHEDULE_MODES = ("auto", "cells", "ensembles")
+
+#: Session-wide schedule mode: seeded lazily from ``REPRO_SCHEDULE``
+#: (None = not yet read), overridden by ``--schedule`` at the CLI.
+_DEFAULT_SCHEDULE: str | None = None
+
+
+def _validate_schedule(mode) -> str:
+    if not isinstance(mode, str) or mode not in SCHEDULE_MODES:
+        raise ParameterError(
+            f"schedule must be one of {list(SCHEDULE_MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+def _schedule_from_env() -> str:
+    """Session default from ``REPRO_SCHEDULE`` (``"auto"`` when unset).
+
+    Same contract as ``REPRO_WORKERS``: a malformed value raises
+    :class:`ParameterError` naming the variable — a user who exported
+    ``REPRO_SCHEDULE=cell`` asked for cell scheduling and must not
+    silently get something else.  Read lazily on first consultation.
+    """
+    raw = os.environ.get("REPRO_SCHEDULE")
+    if raw is None:
+        return "auto"
+    value = raw.strip().lower()
+    if value == "":
+        return "auto"
+    if value in SCHEDULE_MODES:
+        return value
+    raise ParameterError(
+        f"invalid REPRO_SCHEDULE={raw!r}: expected one of "
+        f"{list(SCHEDULE_MODES)} (unset the variable for the 'auto' default)"
+    )
+
+
+def set_default_schedule(mode: str) -> None:
+    """Set the session schedule mode used when a call site passes ``None``."""
+    global _DEFAULT_SCHEDULE
+    _DEFAULT_SCHEDULE = _validate_schedule(mode)
+
+
+def get_default_schedule() -> str:
+    """Current session schedule mode (reads ``REPRO_SCHEDULE`` once)."""
+    global _DEFAULT_SCHEDULE
+    if _DEFAULT_SCHEDULE is None:
+        _DEFAULT_SCHEDULE = _schedule_from_env()
+    return _DEFAULT_SCHEDULE
+
+
+@contextlib.contextmanager
+def default_schedule(mode: str | None):
+    """Temporarily set the session schedule mode (no-op when ``None``).
+
+    Like :func:`default_workers`, the raw slot is saved and restored
+    unresolved, so an explicit mode wins over a malformed env value and
+    the env error still fires when the default is genuinely consulted.
+    """
+    global _DEFAULT_SCHEDULE
+    if mode is None:
+        yield
+        return
+    previous = _DEFAULT_SCHEDULE  # may be the unread-env sentinel (None)
+    set_default_schedule(mode)
+    try:
+        yield
+    finally:
+        _DEFAULT_SCHEDULE = previous
+
+
+def resolve_schedule(mode: str | None) -> str:
+    """Normalise a ``schedule`` argument: ``None`` means the session default."""
+    if mode is None:
+        return get_default_schedule()
+    return _validate_schedule(mode)
+
+
 #: Exceptions meaning "no working pool in this environment" (missing
 #: semaphores, daemonic parent, unsupported start method, ...).
 _POOL_CREATION_ERRORS = (OSError, ValueError, RuntimeError, AssertionError)
@@ -353,6 +436,62 @@ def _pool_worker_state(pool) -> frozenset:
     return frozenset((p.pid, p.exitcode) for p in list(procs))
 
 
+#: How long ``Pool.terminate``'s own machinery (sentinels, SIGTERM) gets
+#: before escalation.  A healthy teardown finishes in milliseconds and
+#: never waits this long; only a wedged one pays it.
+_SHUTDOWN_TERM_GRACE = 1.0
+
+#: Grace period for a pool teardown before the pool object is abandoned.
+#: By then every worker has been SIGKILLed, so abandoning leaks at most
+#: the pool's daemon helper threads — never a process.
+_SHUTDOWN_GRACE = 5.0
+
+
+def _shutdown_pool(pool) -> None:
+    """Tear a pool down without trusting SIGTERM delivery.
+
+    ``Pool.terminate`` signals its workers and then joins them
+    unconditionally, and that join can hang forever.  A replacement
+    worker forked by the pool's maintenance thread at the wrong instant
+    can receive the SIGTERM before the interpreter's after-fork hook
+    runs — which clears fork-inherited pending signals — and then park
+    in ``inqueue.get()`` on the very queue lock the terminating parent
+    holds.  A compute-bound worker similarly outlives SIGTERM because
+    the Python-level handler needs the eval loop.  So run ``terminate``
+    on a helper thread and, if it has not returned after a grace window,
+    sweep SIGKILL over the worker list until it does.
+
+    The grace window matters: an idle worker *holds* the inqueue read
+    lock while blocked in ``recv``, and normal teardown releases it by
+    feeding the worker a sentinel.  Killing that worker pre-emptively
+    would wedge the very teardown this function exists to protect, so
+    escalation waits for the cooperative path to prove itself stuck.
+    Teardown only ever happens after the batch's results are collected
+    or written off, so no result of value can be lost either way.
+    """
+
+    def _terminate():
+        try:
+            pool.terminate()
+        except Exception:
+            pass  # best effort: the kill sweep already reaps the workers
+
+    finisher = threading.Thread(target=_terminate, daemon=True)
+    finisher.start()
+    finisher.join(_SHUTDOWN_TERM_GRACE)
+    deadline = time.monotonic() + _SHUTDOWN_GRACE
+    while finisher.is_alive():
+        for proc in list(getattr(pool, "_pool", None) or ()):
+            try:
+                proc.kill()
+            except (OSError, ValueError):
+                pass  # already reaped or closed
+        finisher.join(_POLL_INTERVAL)
+        if time.monotonic() >= deadline:
+            return
+    pool.join()
+
+
 class _FreshPoolProvider:
     """Supervision's view of a throwaway per-call pool."""
 
@@ -373,8 +512,7 @@ class _FreshPoolProvider:
 
     def recycle(self) -> None:
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _shutdown_pool(self._pool)
             self._pool = None
 
     close = recycle
@@ -400,24 +538,39 @@ def _dispatch_shard(pool, fn, task, plan, shard: int, attempt: int):
     return pool.apply_async(fn, tuple(task))
 
 
-def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider) -> list:
+def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
+               collect_errors: bool = False) -> list:
     """Supervised dispatch: async shards, a watchdog, and bounded retries.
 
-    Each round dispatches every pending shard with ``apply_async`` and
+    The first round dispatches every shard with ``apply_async`` and
     polls for results while watching the pool's worker processes.  A
     worker death marks the round's uncollected shards lost (an already
     ``ready()`` result is always collected first — completed work is
     never discarded); a shard running past ``policy.shard_deadline``
-    (measured from the round's dispatch) is marked the same way.  Lost
-    shards trigger a pool recycle and a backed-off retry round of *only*
-    those shards — re-execution is bit-identical because shard tasks are
-    pure functions of their arguments.  A shard with no attempts left
-    raises :class:`~repro.errors.RetryBudgetError` (after the recycle,
-    so a persistent session is not poisoned); exceptions raised *by* the
-    shard function propagate unchanged, as on every other path.
+    (measured from its dispatch) is marked the same way.  Lost shards
+    trigger a pool recycle and a backed-off retry round of *only* those
+    shards — re-execution is bit-identical because shard tasks are pure
+    functions of their arguments.
 
-    If the pool cannot be (re)created at the top of a round, the pending
-    shards finish serially in-process — same degradation, same one-time
+    Retry rounds go **single-flight**: one shard in the pool at a time,
+    so a worker death (or deadline miss) is attributable to exactly the
+    shard that was running.  Collateral loss can therefore only cost a
+    shard its first-round attempt — an innocent shard that shared round
+    zero with a poisonous one retries in isolation and succeeds, and
+    only genuinely failing shards ever exhaust their budgets.
+
+    A shard with no attempts left raises
+    :class:`~repro.errors.RetryBudgetError` (after the recycle, so a
+    persistent session is not poisoned); exceptions raised *by* the
+    shard function propagate unchanged, as on every other path.  With
+    ``collect_errors=True`` an exhausted shard does not abort the call:
+    its slot in the result list holds the
+    :class:`~repro.errors.RetryBudgetError` instance and the remaining
+    shards keep running.  The campaign layer uses this to quarantine
+    exactly the failing cell.
+
+    If the pool cannot be (re)created, the round's remaining shards
+    finish serially in-process — same degradation, same one-time
     warning, as the unsupervised paths.
     """
     results: list = [None] * len(tasks)
@@ -429,70 +582,86 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider) -> 
             time.sleep(
                 min(policy.backoff_base * 2 ** (round_no - 1), policy.backoff_cap)
             )
-        try:
-            pool = provider.pool()
-        except provider.pool_errors as exc:
-            _warn_pool_failure(exc.__cause__ or exc)
-            for i in pending:
-                attempts[i] += 1
-                results[i] = _call_shard(
-                    fn, tasks[i], plan, base + i, attempts[i], in_worker=False
-                )
-            return results
-        workers_before = provider.worker_state()
-        dispatched = time.monotonic()
-        handles = []
-        for i in pending:
-            attempts[i] += 1
-            handles.append(
-                (i, _dispatch_shard(pool, fn, tasks[i], plan, base + i, attempts[i]))
-            )
+        batches = [list(pending)] if round_no == 0 else [[i] for i in pending]
         lost: dict = {}
-        worker_died = False
-        for i, handle in handles:
-            while True:
-                if handle.ready():
-                    results[i] = handle.get()
-                    break
-                if worker_died:
-                    lost[i] = WorkerLostError(
-                        f"shard {base + i} lost to a dead pool worker "
-                        f"(attempt {attempts[i]} of {policy.max_attempts})"
+        for b, batch in enumerate(batches):
+            try:
+                pool = provider.pool()
+            except provider.pool_errors as exc:
+                _warn_pool_failure(exc.__cause__ or exc)
+                for i in [j for rest in batches[b:] for j in rest] + sorted(lost):
+                    attempts[i] += 1
+                    results[i] = _call_shard(
+                        fn, tasks[i], plan, base + i, attempts[i], in_worker=False
                     )
-                    break
-                if (
-                    policy.shard_deadline is not None
-                    and time.monotonic() - dispatched >= policy.shard_deadline
-                ):
-                    lost[i] = ShardDeadlineError(
-                        f"shard {base + i} missed its "
-                        f"{policy.shard_deadline:g}s deadline "
-                        f"(attempt {attempts[i]} of {policy.max_attempts})"
-                    )
-                    break
-                handle.wait(_POLL_INTERVAL)
-                if provider.worker_state() != workers_before:
-                    worker_died = True
+                return results
+            workers_before = provider.worker_state()
+            dispatched = time.monotonic()
+            handles = []
+            for i in batch:
+                attempts[i] += 1
+                handles.append(
+                    (i, _dispatch_shard(pool, fn, tasks[i], plan, base + i,
+                                        attempts[i]))
+                )
+            worker_died = False
+            batch_lost = False
+            for i, handle in handles:
+                while True:
+                    if handle.ready():
+                        results[i] = handle.get()
+                        break
+                    if worker_died:
+                        lost[i] = WorkerLostError(
+                            f"shard {base + i} lost to a dead pool worker "
+                            f"(attempt {attempts[i]} of {policy.max_attempts})"
+                        )
+                        batch_lost = True
+                        break
+                    if (
+                        policy.shard_deadline is not None
+                        and time.monotonic() - dispatched >= policy.shard_deadline
+                    ):
+                        lost[i] = ShardDeadlineError(
+                            f"shard {base + i} missed its "
+                            f"{policy.shard_deadline:g}s deadline "
+                            f"(attempt {attempts[i]} of {policy.max_attempts})"
+                        )
+                        batch_lost = True
+                        break
+                    handle.wait(_POLL_INTERVAL)
+                    if provider.worker_state() != workers_before:
+                        worker_died = True
+            if batch_lost:
+                # A dead or deadline-hogged worker must never serve another
+                # shard: recycle before the next batch, the next retry
+                # round, and before giving up, so a persistent runtime
+                # session stays healthy either way.
+                provider.recycle()
         if not lost:
             return results
-        # A dead or deadline-hogged worker must never serve another shard:
-        # recycle before retrying *and* before giving up, so a persistent
-        # runtime session stays healthy either way.
-        provider.recycle()
         exhausted = sorted(i for i in lost if attempts[i] >= policy.max_attempts)
         if exhausted:
-            detail = "; ".join(str(lost[i]) for i in exhausted)
-            raise RetryBudgetError(
-                f"{len(exhausted)} shard(s) still failing after "
-                f"{policy.max_attempts} attempt(s): {detail}"
-            )
+            if not collect_errors:
+                detail = "; ".join(str(lost[i]) for i in exhausted)
+                raise RetryBudgetError(
+                    f"{len(exhausted)} shard(s) still failing after "
+                    f"{policy.max_attempts} attempt(s): {detail}"
+                )
+            for i in exhausted:
+                results[i] = RetryBudgetError(
+                    f"shard {base + i} still failing after "
+                    f"{policy.max_attempts} attempt(s): {lost[i]}"
+                )
+                del lost[i]
         round_no += 1
         pending = sorted(lost)
     return results
 
 
 def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = False,
-               policy: RetryPolicy | None = None) -> list:
+               policy: RetryPolicy | None = None, chunksize: int | None = None,
+               collect_errors: bool = False) -> list:
     """Apply ``fn(*task)`` to every task, returning results in task order.
 
     ``fn`` must be a module-level (picklable) function and each task a
@@ -500,6 +669,15 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
     task, tasks are distributed over a process pool; otherwise — or when a
     pool cannot be created — they run serially in-process.  Exceptions
     raised by ``fn`` propagate to the caller either way.
+
+    ``chunksize`` forces the unsupervised pool path's batching (the
+    supervised path always dispatches per task): heterogeneous task
+    lists — campaign cells of wildly different cost — want ``1`` so a
+    cheap task is never queued behind an expensive one.
+    ``collect_errors=True`` makes supervised dispatch deliver a shard's
+    :class:`~repro.errors.RetryBudgetError` *in its result slot* instead
+    of raising, so one doomed task cannot abort its siblings; it only
+    changes what happens on budget exhaustion, never a healthy result.
 
     When a session-scoped :class:`repro.parallel.runtime.PoolRuntime` is
     active, its persistent pool is reused instead of forking per call —
@@ -544,7 +722,8 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
                 # the persistent pool past what it can use.
                 return runtime.starmap(
                     fn, tasks, workers=min(n_workers, len(tasks)),
-                    policy=pol, plan=plan, base=base,
+                    policy=pol, plan=plan, base=base, chunksize=chunksize,
+                    collect_errors=collect_errors,
                 )
             except PoolUnavailableError as exc:
                 _warn_pool_failure(exc.__cause__ or exc)
@@ -567,7 +746,7 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
     try:
         if supervised:
             return _supervise(fn, tasks, policy=pol, plan=plan, base=base,
-                              provider=provider)
-        return pool.starmap(fn, tasks)
+                              provider=provider, collect_errors=collect_errors)
+        return pool.starmap(fn, tasks, chunksize)
     finally:
         provider.close()

@@ -46,6 +46,7 @@ from repro.parallel.executor import (
     _POOL_CREATION_ERRORS,
     _create_pool,
     _pool_worker_state,
+    _shutdown_pool,
     _supervise,
     _validate_workers,
     pool_start_method,
@@ -121,7 +122,8 @@ class PoolRuntime:
 
     # ------------------------------------------------------------- execution
     def starmap(self, fn, tasks, *, workers: int, policy=None, plan=None,
-                base: int = 0) -> list:
+                base: int = 0, chunksize: int | None = None,
+                collect_errors: bool = False) -> list:
         """Run ``fn(*task)`` for every task on the persistent pool.
 
         Raises :class:`PoolUnavailableError` when no pool can be created
@@ -150,9 +152,9 @@ class PoolRuntime:
                     provider = _RuntimePoolProvider(self, workers)
                     return _supervise(
                         fn, tasks, policy=policy, plan=plan, base=base,
-                        provider=provider,
+                        provider=provider, collect_errors=collect_errors,
                     )
-                return pool.starmap(fn, tasks)
+                return pool.starmap(fn, tasks, chunksize)
             finally:
                 self._last_used = time.monotonic()
                 self._schedule_teardown_locked()
@@ -183,8 +185,9 @@ class PoolRuntime:
     def _teardown_locked(self) -> None:
         if self._pool is not None:
             # No tasks can be in flight: starmap holds the same lock.
-            self._pool.terminate()
-            self._pool.join()
+            # _shutdown_pool SIGKILLs stragglers, so a worker that lost
+            # its SIGTERM (or is stuck in a C loop) cannot hang us here.
+            _shutdown_pool(self._pool)
             self._pool = None
             self._pool_size = 0
             self._start_method = None

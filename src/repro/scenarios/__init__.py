@@ -12,6 +12,9 @@ machinery are crossed into named evaluation campaigns —
 3. a **campaign runner** (:mod:`~repro.scenarios.campaign`) that expands
    grids into deterministically seeded cells and routes every ensemble
    through the sharded parallel engine (``workers=N ≡ workers=1``);
+   a **cell scheduler** (:mod:`~repro.scenarios.schedule`) can instead
+   shard the pending-cell list itself across the pool
+   (``--schedule cells``; ``auto`` picks per campaign), byte-identically;
 4. a **result store** (:mod:`~repro.scenarios.store`): append-only
    JSONL per campaign with a hashed manifest, so interrupted campaigns
    resume by skipping completed cells, byte-identically;
@@ -34,6 +37,13 @@ from repro.scenarios.registry import (
     register_scenario,
 )
 from repro.scenarios.report import render_report
+from repro.scenarios.schedule import (
+    CellSchedule,
+    cell_cost,
+    cell_costs,
+    decide_schedule,
+    plan_campaign,
+)
 from repro.scenarios.specs import (
     Cell,
     EstimatorSuite,
@@ -59,6 +69,11 @@ __all__ = [
     "expand_cells",
     "cell_label",
     "CampaignSummary",
+    "CellSchedule",
+    "cell_cost",
+    "cell_costs",
+    "decide_schedule",
+    "plan_campaign",
     "ResultStore",
     "grid_hash",
     "render_report",

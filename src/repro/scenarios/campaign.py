@@ -29,7 +29,10 @@ What a rate-series cell records:
   estimates, reduced to mean |log10| discrepancies.
 
 Packet cells record the same mean/tail structure over mean *packet
-size* with count-based samplers.
+size* with count-based samplers; when their suite names Hurst methods
+(or a queue spec), the full trace and the estimation substream are
+projected onto one :class:`~repro.trace.binning.RateBinner` grid and the
+same reducers run on the binned byte rate.
 """
 
 from __future__ import annotations
@@ -59,8 +62,10 @@ from repro.parallel.runtime import active_runtime
 from repro.queueing.norros import overflow_probability
 from repro.queueing.simulation import queue_occupancy, utilisation_for_load
 from repro.scenarios.registry import available_scenarios, get_scenario
+from repro.scenarios.schedule import iter_cell_results, plan_campaign
 from repro.scenarios.specs import Cell
 from repro.scenarios.store import ResultStore
+from repro.trace.binning import RateBinner
 from repro.utils.rng import spawn_rngs, stream_for
 
 #: Fewer sampled points than this and a Hurst estimate/tail quantile is
@@ -251,7 +256,20 @@ def _evaluate_series_cell(cell: Cell, label: str, seed: int) -> dict:
 
 
 def _evaluate_packet_cell(cell: Cell, label: str, seed: int) -> dict:
-    """One packet cell: mean wire size recovery under count-based sampling."""
+    """One packet cell: mean wire size recovery under count-based sampling.
+
+    When the cell's suite names Hurst methods, the full trace and the
+    estimation substream are projected onto one fixed
+    :class:`~repro.trace.binning.RateBinner` grid (bytes per bin), so
+    the estimators compare like with like: ``truth.hurst`` is the
+    full-trace binned-rate H per method (packet models have no
+    construction-time exponent), and ``errors.hurst`` measures the
+    sampled substream against it.  An optional queue spec runs the same
+    Lindley-vs-Norros study as rate cells on the binned full rate, with
+    the sampled prediction fed by the expansion-estimated mean rate
+    (sampled bin mass scaled by the known 1-in-N inverse sampling
+    fraction).
+    """
     trace = cell.traffic.build(stream_for(label + ":trace", seed))
     sizes = trace.sizes.astype(np.float64)
     suite = cell.estimators
@@ -275,18 +293,39 @@ def _evaluate_packet_cell(cell: Cell, label: str, seed: int) -> dict:
         float(np.quantile(est_sizes, suite.tail_quantile))
         if est_sizes.size >= MIN_ESTIMATION_SAMPLES else float("nan")
     )
-    return {
+
+    needs_rates = suite.methods or cell.queue is not None
+    full_rate = est_rate = None
+    if needs_rates:
+        binner = RateBinner.for_trace(trace)
+        full_rate = binner.bin(trace).values
+        est_rate = binner.bin(est).values
+    true_hursts = (
+        _hurst_estimates(full_rate, suite.methods) if suite.methods else {}
+    )
+    if suite.methods and len(est) >= MIN_ESTIMATION_SAMPLES:
+        # Gate on the substream's *packet* count, not the bin count: the
+        # grid always has n_bins entries, however starved the sample.
+        hursts = _hurst_estimates(est_rate, suite.methods)
+    else:
+        hursts = {method: float("nan") for method in suite.methods}
+
+    record = {
         "key": cell.key,
         "label": label,
         **cell.to_json(),
-        "truth": {"mean": true_mean, "hurst": None, "tail": true_tail},
+        "truth": {
+            "mean": true_mean,
+            "hurst": true_hursts or None,
+            "tail": true_tail,
+        },
         "estimate": {
             "mean": mean_estimate,
             "mean_avg": float(np.nanmean(means)),
             "mean_min": float(np.nanmin(means)),
             "mean_max": float(np.nanmax(means)),
             "n_samples": int(len(est)),
-            "hurst": {},
+            "hurst": hursts,
             "tail": tail_estimate,
         },
         "errors": {
@@ -296,10 +335,27 @@ def _evaluate_packet_cell(cell: Cell, label: str, seed: int) -> dict:
                 relative_error(tail_estimate, true_tail)
                 if np.isfinite(tail_estimate) else float("nan")
             ),
-            "hurst": {},
+            "hurst": {
+                method: (
+                    abs(h - true_hursts[method])
+                    if np.isfinite(h) and np.isfinite(true_hursts[method])
+                    else float("nan")
+                )
+                for method, h in hursts.items()
+            },
         },
         "confidence": None,
     }
+    if cell.queue is not None:
+        reference_hurst = next(
+            (h for h in true_hursts.values() if np.isfinite(h)), None
+        )
+        expansion = len(trace) / len(est) if len(est) else float("nan")
+        rate_estimate = float(est_rate.mean()) * expansion
+        record["queue"] = _queue_study(
+            cell, full_rate, reference_hurst, rate_estimate, hursts
+        )
+    return record
 
 
 def evaluate_cell(cell: Cell, *, campaign: str, seed: int = MASTER_SEED) -> dict:
@@ -401,23 +457,35 @@ def run_campaign(
     resume: bool = False,
     max_cells: int | None = None,
     retry: RetryPolicy | None = None,
+    schedule: str | None = None,
 ) -> CampaignSummary:
     """Run (or resume) a campaign over the named scenarios.
 
-    Cells run in deterministic order and are appended to the store as
-    they complete; completed cells are skipped on resume.  ``workers``
-    sets the session sharding default for every ensemble the cells run.
-    ``max_cells`` caps how many *new* cells this invocation executes —
-    the hook the interruption tests (and incremental jobs) use.
+    Cells run in deterministic order and are appended to the store in
+    that order; completed cells are skipped on resume.  ``workers`` sets
+    the session sharding default, and ``schedule`` picks where that
+    parallelism sits: ``"ensembles"`` shards inside each cell (the
+    historical layout), ``"cells"`` shards the pending-cell list itself
+    across the pool (the many-small-cells layout), and ``"auto"`` — the
+    default via ``--schedule``/``REPRO_SCHEDULE`` — lets
+    :func:`~repro.scenarios.schedule.plan_campaign` decide.  Either way
+    this process is the sole store writer and records land in canonical
+    cell order, so the store and manifest are byte-identical across
+    modes and worker counts.  ``max_cells`` caps how many pending cells
+    this invocation attempts — the hook the interruption tests (and
+    incremental jobs) use.
 
     Failure handling: ``retry`` (default: the session
     :class:`~repro.parallel.RetryPolicy`) governs the executor's
-    worker-loss/deadline supervision under every cell.  A cell whose
-    retry budget is exhausted is *quarantined* — recorded in the store's
-    sidecar, counted in the summary — and the campaign moves on; the
-    next ``resume=True`` run re-attempts exactly those cells.  SIGINT
-    and SIGTERM shut down cleanly: results are durable per append, and
-    the persistent pool (when one is active) is torn down rather than
+    worker-loss/deadline supervision — under every cell's ensembles in
+    ``ensembles`` mode, over the cell tasks themselves in ``cells``
+    mode.  A cell whose retry budget is exhausted is *quarantined* —
+    recorded in the store's sidecar, counted in the summary — and the
+    campaign moves on; the next ``resume=True`` run re-attempts exactly
+    those cells.  SIGINT and SIGTERM shut down cleanly: results are
+    durable per append (a cell-scheduled run forfeits at most its
+    current round's uncommitted results, which resume re-runs), and the
+    persistent pool (when one is active) is torn down rather than
     orphaned.
     """
     if max_cells is not None and max_cells < 0:
@@ -428,30 +496,48 @@ def run_campaign(
         resume=resume,
     )
     executed = skipped = quarantined = 0
+
+    def _quarantine(cell: Cell, error_type: str, message: str) -> None:
+        store.quarantine({
+            "key": cell.key,
+            "label": cell_label(campaign, cell),
+            "error": {"type": error_type, "message": message},
+        })
+
     try:
         with _sigterm_as_interrupt(), default_workers(workers), \
                 retry_policy(retry):
+            pending = []
             for cell in cells:
                 if store.is_completed(cell.key):
                     skipped += 1
-                    continue
-                if max_cells is not None and executed >= max_cells:
-                    break
-                try:
-                    record = evaluate_cell(cell, campaign=campaign, seed=seed)
-                except ExecutionError as exc:
-                    store.quarantine({
-                        "key": cell.key,
-                        "label": cell_label(campaign, cell),
-                        "error": {
-                            "type": type(exc).__name__,
-                            "message": str(exc),
-                        },
-                    })
-                    quarantined += 1
-                    continue
-                store.append(record)
-                executed += 1
+                else:
+                    pending.append(cell)
+            if max_cells is not None:
+                pending = pending[:max_cells]
+            plan = plan_campaign(pending, mode=schedule)
+            if plan.mode == "cells":
+                for cell, outcome in iter_cell_results(
+                    plan, pending, campaign=campaign, seed=seed
+                ):
+                    if outcome[0] == "ok":
+                        store.append(outcome[1])
+                        executed += 1
+                    else:
+                        _quarantine(cell, outcome[1], outcome[2])
+                        quarantined += 1
+            else:
+                for cell in pending:
+                    try:
+                        record = evaluate_cell(
+                            cell, campaign=campaign, seed=seed
+                        )
+                    except ExecutionError as exc:
+                        _quarantine(cell, type(exc).__name__, str(exc))
+                        quarantined += 1
+                        continue
+                    store.append(record)
+                    executed += 1
     except KeyboardInterrupt:
         # Appends are fsync-durable, so the store needs no flush; what a
         # kill must not leave behind is a live worker pool.

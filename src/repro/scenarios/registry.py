@@ -125,7 +125,12 @@ register_scenario(Scenario(
         SamplerSpec(kind="count_stratified", rate=0.02),
         SamplerSpec(kind="bernoulli_packet", rate=0.02),
     ),
-    estimators=EstimatorSuite(methods=(), tail_quantile=0.99),
+    # Hurst and queueing run on the RateBinner-projected byte rate: the
+    # full trace and each sampled substream share one binning grid, so
+    # the estimator suite applies to count-based cells too.
+    estimators=EstimatorSuite(methods=("aggregated_variance",),
+                              tail_quantile=0.99),
+    queue=QueueSpec(utilisation=0.85, n_thresholds=8),
     n_instances=12,
 ))
 

@@ -372,13 +372,16 @@ class EstimatorSuite:
 # ----------------------------------------------------------------- queueing
 @dataclass(frozen=True)
 class QueueSpec:
-    """Optional Lindley-queue tail study for rate-series cells.
+    """Optional Lindley-queue tail study of a cell's traffic.
 
     The full trace drains at capacity ``mean / utilisation``; the cell
     records the empirical occupancy tail over ``n_thresholds`` geometric
     buffer levels and Norros-formula predictions made once from the
     ground truth and once from the sampled estimates — the operational
-    cost of sampling error, in log10 of overflow probability.
+    cost of sampling error, in log10 of overflow probability.  Packet
+    cells run the same study on the trace's binned byte rate (one
+    :class:`~repro.trace.binning.RateBinner` grid for the full trace and
+    the sampled substream).
     """
 
     utilisation: float = 0.8
@@ -416,11 +419,6 @@ class Cell:
                 f"scenario {self.scenario!r}: traffic {self.traffic.slug()!r} "
                 f"and sampler {self.sampler.slug()!r} disagree on packet vs "
                 "rate-series sampling"
-            )
-        if self.queue is not None and self.traffic.is_packet_trace:
-            raise ParameterError(
-                f"scenario {self.scenario!r}: queue studies need a rate "
-                "series, not a packet trace"
             )
         require_int_at_least("n_instances", self.n_instances, 1)
 

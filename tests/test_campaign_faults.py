@@ -239,7 +239,11 @@ class TestCleanShutdown:
         before = signal.getsignal(signal.SIGTERM)
         with pool_runtime(workers=2) as rt:
             with pytest.raises(KeyboardInterrupt):
-                _run(mini_registered, tmp_path / "run", workers=2)
+                # schedule="ensembles": the monkeypatched evaluate_cell
+                # must run in the parent for the SIGTERM to interrupt
+                # the campaign loop rather than a pool worker.
+                _run(mini_registered, tmp_path / "run", workers=2,
+                     schedule="ensembles")
             assert not rt.has_live_pool()
         # The previous handler is back and the first append is durable.
         assert signal.getsignal(signal.SIGTERM) is before
@@ -256,7 +260,8 @@ class TestCleanShutdown:
             run_shards(_noop, [(0,), (1,)], workers=2)
             assert rt.has_live_pool()
             with pytest.raises(KeyboardInterrupt):
-                _run(mini_registered, tmp_path / "run", workers=2)
+                _run(mini_registered, tmp_path / "run", workers=2,
+                     schedule="ensembles")
             assert not rt.has_live_pool()
 
 

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.trace.binning import bin_bytes, bin_od_flow, bin_packets
+from repro.trace.binning import RateBinner, bin_bytes, bin_od_flow, bin_packets
 from repro.trace.packet import PacketTrace
 from repro.trace.process import RateProcess
 
@@ -134,3 +134,60 @@ class TestRateProcess:
     def test_rejects_nan(self):
         with pytest.raises(ParameterError):
             RateProcess(values=np.array([1.0, np.nan]))
+
+
+class TestRateBinner:
+    def test_full_trace_conserves_mass(self):
+        trace = sample_trace()
+        binner = RateBinner.for_trace(trace, n_bins=4)
+        process = binner.bin(trace)
+        assert process.values.size == 4
+        assert process.values.sum() == trace.total_bytes
+
+    def test_last_packet_lands_in_the_final_bin(self):
+        # The defining trace's last packet sits exactly on the grid's
+        # right edge; the closed edge keeps it on the grid.
+        trace = sample_trace()
+        binner = RateBinner.for_trace(trace, n_bins=3)
+        process = binner.bin(trace)
+        assert process.values[-1] >= trace.sizes[-1]
+
+    def test_substream_shares_the_parent_grid(self):
+        trace = sample_trace()
+        binner = RateBinner.for_trace(trace, n_bins=4)
+        sub = trace.select(np.array([True, False, False, True, False]))
+        full, sampled = binner.bin(trace), binner.bin(sub)
+        assert full.values.size == sampled.values.size
+        assert full.bin_width == sampled.bin_width
+        assert sampled.values.sum() == trace.sizes[[0, 3]].sum()
+        # Every sampled bin is bounded by the full trace's bin.
+        assert np.all(sampled.values <= full.values)
+
+    def test_packet_counting_mode(self):
+        trace = sample_trace()
+        binner = RateBinner.for_trace(trace, n_bins=4, by="packets")
+        process = binner.bin(trace)
+        assert process.unit == "packets/bin"
+        assert process.values.sum() == len(trace)
+
+    def test_default_bin_count_is_clamped(self):
+        trace = sample_trace()
+        assert RateBinner.for_trace(trace).n_bins == 16  # 5 // 8 -> floor 16
+
+    def test_zero_span_trace_gets_a_unit_grid(self):
+        trace = PacketTrace(timestamps=[1.0, 1.0], sources=[1, 1],
+                            destinations=[2, 2], sizes=[10, 20])
+        binner = RateBinner.for_trace(trace, n_bins=4)
+        assert binner.bin_width == 1.0
+        assert binner.bin(trace).values.sum() == 30
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ParameterError):
+            RateBinner(t0=0.0, bin_width=0.0, n_bins=4)
+        with pytest.raises(ParameterError):
+            RateBinner(t0=0.0, bin_width=1.0, n_bins=0)
+        with pytest.raises(ParameterError):
+            RateBinner(t0=0.0, bin_width=1.0, n_bins=4, by="flows")
+        with pytest.raises(ParameterError):
+            RateBinner.for_trace(PacketTrace(timestamps=[], sources=[],
+                                             destinations=[], sizes=[]))
