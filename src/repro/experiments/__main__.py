@@ -5,14 +5,15 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig18 [--scale 0.5] [--seed 1] [--workers 4]
     python -m repro.experiments run all   [--scale 0.25] [--runtime persistent]
-    python -m repro.experiments run fig18 [--kernels on]
-    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR8.json]
+    python -m repro.experiments run fig18 [--kernels on] [--telemetry on]
+    python -m repro.experiments bench [--quick] [--workers 4] [--output BENCH_PR10.json]
     python -m repro.experiments runtime
     python -m repro.experiments scenarios list
     python -m repro.experiments scenarios run [NAME ...] [--smoke] [--resume]
         [--schedule cells] [--max-attempts N] [--shard-deadline S]
-        [--faults PLAN]
-    python -m repro.experiments scenarios report --campaign NAME
+        [--faults PLAN] [--telemetry on] [--profile DIR]
+    python -m repro.experiments scenarios report --campaign NAME [--json]
+    python -m repro.experiments telemetry {summary,spans,timeline} --campaign NAME
 
 ``--workers`` wins over the ``REPRO_WORKERS`` environment variable,
 which sets the session default; results never depend on either.
@@ -28,7 +29,17 @@ campaign's pending-cell list (or a panel's independent rows) across the
 pool, and ``auto`` — the default — decides per workload; stores and
 figures are byte-identical in every mode.  The ``runtime`` subcommand
 prints the parallel + native-tier configuration this machine and
-environment would run with.
+environment would run with, each knob annotated with its provenance
+(default / env / context / cli).
+
+``--telemetry on`` (or ``REPRO_TELEMETRY=on``) records span traces,
+metrics, and structured events through :mod:`repro.obs`; campaigns also
+write a ``telemetry.jsonl`` sidecar next to their store, which the
+``telemetry`` subcommand reads back as a summary table, span tree, or
+scheduler timeline.  Stores, manifests, and figures stay byte-identical
+with telemetry on or off.  ``scenarios run --profile DIR`` additionally
+dumps per-worker cProfile stats into ``DIR`` and prints the aggregated
+hot-path table.
 
 ``scenarios run`` executes declarative evaluation campaigns
 (:mod:`repro.scenarios`) into an append-only result store under
@@ -89,10 +100,14 @@ def main(argv=None) -> int:
                              "independent rows across the pool, 'auto' "
                              "decides per panel.  Results are identical; "
                              "default comes from REPRO_SCHEDULE (else auto)")
+    runner.add_argument("--telemetry", choices=("on", "off"), default=None,
+                        help="record span traces, metrics, and events for "
+                             "this run (figures stay byte-identical; "
+                             "default comes from REPRO_TELEMETRY, else off)")
     sub.add_parser(
         "runtime",
         help="show the parallel runtime configuration for this "
-             "machine/session",
+             "machine/session, with each knob's provenance",
     )
     bench = sub.add_parser(
         "bench",
@@ -101,7 +116,7 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true",
                        help="1/8-scale smoke-test mode (finishes in seconds)")
     bench.add_argument("--output", default=None,
-                       help="JSON report path (default BENCH_PR8.json)")
+                       help="JSON report path (default BENCH_PR10.json)")
     bench.add_argument("--seed", type=int, default=None,
                        help="override the benchmark workload seed")
     bench.add_argument("--workers", type=int, default=None,
@@ -111,6 +126,10 @@ def main(argv=None) -> int:
                        help="run the suite with the compiled kernel tier "
                             "enabled/disabled (the dedicated kernel row "
                             "times both regardless)")
+    bench.add_argument("--telemetry", choices=("on", "off"), default=None,
+                       help="run the suite with telemetry recording "
+                            "enabled/disabled (the overhead row times both "
+                            "regardless)")
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -166,11 +185,37 @@ def main(argv=None) -> int:
                           help="deterministic fault-injection plan, e.g. "
                                "'kill:shard=3,delay:shard=5:seconds=30' "
                                "(overrides REPRO_FAULTS; chaos testing only)")
+    scen_run.add_argument("--telemetry", choices=("on", "off"), default=None,
+                          help="record span traces/metrics/events and write "
+                               "a telemetry.jsonl sidecar next to the store "
+                               "(store stays byte-identical; default from "
+                               "REPRO_TELEMETRY, else off)")
+    scen_run.add_argument("--profile", default=None, metavar="DIR",
+                          help="dump per-worker cProfile stats into DIR and "
+                               "print the aggregated hot-path table after "
+                               "the campaign")
     scen_report = scen_sub.add_parser(
         "report", help="render a stored campaign's comparison tables"
     )
     scen_report.add_argument("--campaign", required=True)
     scen_report.add_argument("--results-dir", default="results")
+    scen_report.add_argument("--json", action="store_true",
+                             help="emit the same aggregations as "
+                                  "machine-readable JSON")
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="inspect a campaign's telemetry.jsonl sidecar",
+    )
+    telemetry.add_argument("view", choices=("summary", "spans", "timeline"),
+                           help="'summary' aggregates spans/counters/gauges, "
+                                "'spans' prints the span tree, 'timeline' "
+                                "shows scheduler rounds and the critical "
+                                "path")
+    telemetry.add_argument("--campaign", required=True,
+                           help="campaign whose sidecar to read")
+    telemetry.add_argument("--results-dir", default="results",
+                           help="store root directory (default results/)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -179,37 +224,15 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "runtime":
-        from repro.kernels import kernels_enabled, numba_available
-        from repro.parallel import (
-            get_default_schedule,
-            get_default_workers,
-            pool_start_method,
-            prefetch_backend_from_env,
-            sharing_enabled,
-            suggested_workers,
-        )
-        from repro.parallel.runtime import runtime_mode_from_env
+        return _runtime_main()
 
-        print(f"cpu_count:          {os.cpu_count()}")
-        print(f"suggested_workers:  {suggested_workers()}")
-        print(f"pool_start_method:  {pool_start_method()}")
-        print(f"default_workers:    {get_default_workers()} "
-              f"(REPRO_WORKERS={os.environ.get('REPRO_WORKERS', 'unset')})")
-        print(f"runtime_mode:       {runtime_mode_from_env()} "
-              f"(REPRO_RUNTIME={os.environ.get('REPRO_RUNTIME', 'unset')})")
-        print(f"schedule:           {get_default_schedule()} "
-              f"(REPRO_SCHEDULE={os.environ.get('REPRO_SCHEDULE', 'unset')})")
-        print(f"trace_sharing:      {'on' if sharing_enabled() else 'off'}")
-        print(f"prefetch_backend:   {prefetch_backend_from_env()} "
-              f"(REPRO_PREFETCH={os.environ.get('REPRO_PREFETCH', 'unset')})")
-        print(f"kernels:            {'on' if kernels_enabled() else 'off'} "
-              f"(REPRO_KERNELS={os.environ.get('REPRO_KERNELS', 'unset')}, "
-              f"numba={'present' if numba_available() else 'absent'})")
-        return 0
+    if args.command == "telemetry":
+        return _telemetry_main(args)
 
     if args.command == "bench":
         import contextlib
 
+        import repro.obs as obs
         from repro.experiments.bench import main as bench_main
         from repro.kernels import kernels as kernels_scope
 
@@ -226,7 +249,11 @@ def main(argv=None) -> int:
             kernels_scope(args.kernels == "on") if args.kernels is not None
             else contextlib.nullcontext()
         )
-        with scope:
+        telemetry_scope = (
+            obs.telemetry(args.telemetry == "on")
+            if args.telemetry is not None else contextlib.nullcontext()
+        )
+        with scope, telemetry_scope:
             return bench_main(bench_argv)
 
     if args.command == "scenarios":
@@ -237,8 +264,10 @@ def main(argv=None) -> int:
     # figures — the fork cost is paid once per session, not per
     # figure (and not per panel cell).  Outputs are identical.
     kernels = None if args.kernels is None else args.kernels == "on"
+    telemetry = None if args.telemetry is None else args.telemetry == "on"
     with execution_scope(workers=args.workers, runtime=args.runtime,
-                         kernels=kernels, schedule=args.schedule):
+                         kernels=kernels, schedule=args.schedule,
+                         telemetry=telemetry):
         for name in names:
             start = time.perf_counter()
             panels = run_experiment(name, scale=args.scale, seed=args.seed)
@@ -250,6 +279,83 @@ def main(argv=None) -> int:
     return 0
 
 
+def _runtime_main() -> int:
+    """The ``runtime`` subcommand: every knob plus its provenance.
+
+    Each line reads ``knob: value [source] (ENV=...)`` — the source is
+    where the effective value came from (``default``, ``env``,
+    ``context``, or ``cli``), so a surprising setting is traceable to
+    the environment variable or scope that set it.
+    """
+    import repro.obs as obs
+    from repro.kernels import (
+        kernels_enabled,
+        kernels_provenance,
+        numba_available,
+    )
+    from repro.parallel import (
+        get_default_schedule,
+        get_default_workers,
+        pool_start_method,
+        prefetch_backend_from_env,
+        schedule_provenance,
+        sharing_enabled,
+        suggested_workers,
+        workers_provenance,
+    )
+    from repro.parallel.runtime import runtime_mode_from_env
+
+    def _env(var: str) -> str:
+        return f"({var}={os.environ.get(var, 'unset')})"
+
+    def _env_source(var: str) -> str:
+        return "env" if os.environ.get(var) is not None else "default"
+
+    print(f"cpu_count:          {os.cpu_count()}")
+    print(f"suggested_workers:  {suggested_workers()}")
+    print(f"pool_start_method:  {pool_start_method()}")
+    print(f"default_workers:    {get_default_workers()} "
+          f"[{workers_provenance()}] {_env('REPRO_WORKERS')}")
+    print(f"runtime_mode:       {runtime_mode_from_env()} "
+          f"[{_env_source('REPRO_RUNTIME')}] {_env('REPRO_RUNTIME')}")
+    print(f"schedule:           {get_default_schedule()} "
+          f"[{schedule_provenance()}] {_env('REPRO_SCHEDULE')}")
+    print(f"trace_sharing:      {'on' if sharing_enabled() else 'off'} "
+          f"[default]")
+    print(f"prefetch_backend:   {prefetch_backend_from_env()} "
+          f"[{_env_source('REPRO_PREFETCH')}] {_env('REPRO_PREFETCH')}")
+    print(f"kernels:            {'on' if kernels_enabled() else 'off'} "
+          f"[{kernels_provenance()}] {_env('REPRO_KERNELS')}, "
+          f"numba={'present' if numba_available() else 'absent'}")
+    print(f"telemetry:          "
+          f"{'on' if obs.telemetry_enabled() else 'off'} "
+          f"[{obs.telemetry_provenance()}] {_env('REPRO_TELEMETRY')}")
+    return 0
+
+
+def _telemetry_main(args) -> int:
+    """The ``telemetry`` subcommand: read back a campaign's sidecar."""
+    from repro.obs.report import (
+        load_runs,
+        render_spans,
+        render_summary,
+        render_timeline,
+    )
+
+    path = os.path.join(args.results_dir, args.campaign, "telemetry.jsonl")
+    runs = load_runs(path)
+    run = runs[-1]  # a resumed campaign appends; the last run is current
+    if len(runs) > 1:
+        print(f"({len(runs)} runs recorded; showing the most recent)\n")
+    renderer = {
+        "summary": render_summary,
+        "spans": render_spans,
+        "timeline": render_timeline,
+    }[args.view]
+    print(renderer(run))
+    return 0
+
+
 def _scenarios_main(args) -> int:
     """The ``scenarios`` subcommand family (lazy import: heavy package)."""
     from repro.scenarios import (
@@ -257,6 +363,7 @@ def _scenarios_main(args) -> int:
         available_scenarios,
         get_scenario,
         render_report,
+        report_json,
         run_campaign,
     )
 
@@ -268,8 +375,13 @@ def _scenarios_main(args) -> int:
         return 0
 
     if args.scenarios_command == "report":
+        import json
+
         store = ResultStore(os.path.join(args.results_dir, args.campaign))
-        print(render_report(store))
+        if args.json:
+            print(json.dumps(report_json(store), indent=2, sort_keys=True))
+        else:
+            print(render_report(store))
         return 0
 
     import contextlib
@@ -298,11 +410,20 @@ def _scenarios_main(args) -> int:
         else contextlib.nullcontext()
     )
     kernels = None if args.kernels is None else args.kernels == "on"
+    telemetry = None if args.telemetry is None else args.telemetry == "on"
+    if args.profile is not None:
+        import repro.obs as obs
+
+        profile_scope = obs.profiling(args.profile)
+    else:
+        profile_scope = contextlib.nullcontext()
     start = time.perf_counter()
-    with faults_scope, execution_scope(workers=args.workers,
-                                       runtime=args.runtime,
-                                       kernels=kernels,
-                                       schedule=args.schedule):
+    with faults_scope, profile_scope, \
+            execution_scope(workers=args.workers,
+                            runtime=args.runtime,
+                            kernels=kernels,
+                            schedule=args.schedule,
+                            telemetry=telemetry):
         summary = run_campaign(
             args.names or None,
             campaign=campaign,
@@ -314,6 +435,11 @@ def _scenarios_main(args) -> int:
     elapsed = time.perf_counter() - start
     print(summary.render())
     print(f"completed in {elapsed:.1f}s")
+    if args.profile is not None:
+        from repro.obs.profile import render_profile
+
+        print()
+        print(render_profile(args.profile))
     return 0
 
 

@@ -14,7 +14,7 @@ Entry points
 
 ``--quick`` shrinks the traces so the whole suite finishes in well under
 30 s — suitable for smoke-testing; the full run writes the repo's perf
-trajectory record (``BENCH_PR9.json``).  ``--workers N`` additionally
+trajectory record (``BENCH_PR10.json``).  ``--workers N`` additionally
 times the sharded ensemble engine (:mod:`repro.parallel`) at
 ``workers=N`` against the identical ``workers=1`` computation and
 records the scaling rows in the report.  Every run also records the
@@ -98,7 +98,7 @@ from repro.traffic.synthetic import (
 BENCH_SEED = 20260726
 
 #: Default output file, recording this PR's perf trajectory point.
-DEFAULT_OUTPUT = "BENCH_PR9.json"
+DEFAULT_OUTPUT = "BENCH_PR10.json"
 
 
 @dataclass(frozen=True)
@@ -544,6 +544,28 @@ def run_benchmarks(*, quick: bool = False, seed: int = BENCH_SEED, workers: int 
                 lambda n_workers=n_workers: _scheduled_campaign(n_workers),
                 _serial_campaign, repeats=repeats, workers=n_workers,
             ))
+
+        # --- telemetry overhead: spans + sidecar vs recording off --------
+        # The observability layer claims zero-overhead-when-off and a
+        # <= 5% tax when on (spans, events, counters, and the
+        # telemetry.jsonl sidecar write).  'vectorized' runs the campaign
+        # with telemetry forced on, 'reference' with it forced off —
+        # stores are byte-identical, so a speedup below ~0.95 is a
+        # recording-cost regression.
+        import repro.obs as obs
+
+        def _telemetry_campaign(enabled: bool):
+            with obs.telemetry(enabled):
+                run_campaign(scenario_names, campaign="bench",
+                             results_dir=next(fresh_dirs), smoke=True,
+                             seed=seed)
+
+        results.append(_time_pair(
+            "telemetry_overhead_campaign_smoke", len(scenario_cells),
+            lambda: _telemetry_campaign(True),
+            lambda: _telemetry_campaign(False),
+            repeats=repeats,
+        ))
     return results
 
 

@@ -55,7 +55,6 @@ Monte-Carlo ensemble, e.g. per-``beta`` trace synthesis + estimation.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -72,6 +71,7 @@ from repro.parallel.executor import (
     resolve_workers,
     run_shards,
 )
+from repro.utils.once import warn_once
 from repro.utils.rng import stream_for
 
 
@@ -293,8 +293,8 @@ def _has_ensembles(spec: SweepSpec) -> bool:
     return any(isinstance(s, (EnsembleSeries, RowGroup)) for s in spec.series)
 
 
-#: One-time flag for the parallel-rows serial-fallback diagnostic.
-_ROW_FALLBACK_WARNED = False
+#: ``warn_once`` key for the parallel-rows serial-fallback diagnostic.
+ROW_FALLBACK_KEY = "sweeps.row-fallback"
 
 
 def _warn_row_fallback(reason: str) -> None:
@@ -304,15 +304,11 @@ def _warn_row_fallback(reason: str) -> None:
     ``workers=N`` on a ``parallel_rows`` figure must be able to tell a
     silently-serial session from a parallel one.
     """
-    global _ROW_FALLBACK_WARNED
-    if _ROW_FALLBACK_WARNED:
-        return
-    _ROW_FALLBACK_WARNED = True
-    warnings.warn(
+    warn_once(
+        ROW_FALLBACK_KEY,
         f"repro.experiments.sweeps: parallel_rows requested but {reason}; "
         "rows will run serially in this session (results are identical, "
         "only slower)",
-        RuntimeWarning,
         stacklevel=4,
     )
 

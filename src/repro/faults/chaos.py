@@ -5,7 +5,7 @@ failure mode the fault-tolerant stack claims to survive, and asserts the
 strongest property the repo has: the final store is *byte-identical* to
 the fault-free ``workers=1`` run.
 
-The script runs five acts:
+The script runs six acts:
 
 1. a fault-free ``workers=1`` reference campaign (the golden bytes);
 2. the same campaign at ``workers=2`` under an injected plan — one
@@ -20,7 +20,18 @@ The script runs five acts:
 5. the campaign again under ``schedule="cells"`` — the cell list itself
    sharded across the pool — with one absorbed cell-worker kill and one
    budget-exhausting kill, whose quarantine-then-resume must converge
-   to the same reference bytes.
+   to the same reference bytes;
+6. a corrupted final append (CRC-failing line) whose resume must repair
+   the tail, re-execute exactly that cell, and converge byte-exactly.
+
+The faulted acts run inside an ``obs.telemetry()`` scope and assert the
+observability contract alongside the byte contract: every injected
+fault must surface as the expected telemetry event (worker losses,
+shard retries, budget exhaustions, quarantines, tail repairs), so a
+regression that silently swallows a fault class fails here even when
+the bytes still converge.  Only set-inclusion over deterministic fault
+targets is asserted — never delay/deadline timing events, which race
+with machine load.
 
 Finally it asserts no worker processes were orphaned.  CI runs this as
 the chaos job; locally it finishes in well under a minute.
@@ -34,6 +45,7 @@ import tempfile
 import time
 from pathlib import Path
 
+import repro.obs as obs
 from repro.errors import InjectedFault
 from repro.faults import fault_plan
 from repro.parallel.executor import RetryPolicy
@@ -64,6 +76,18 @@ def _store_bytes(summary):
     )
 
 
+def _event_shards(col, name):
+    """The set of shard indices carried by events named ``name``."""
+    return {
+        e["attrs"]["shard"] for e in col.events
+        if e["name"] == name and "shard" in (e.get("attrs") or {})
+    }
+
+
+def _event_count(col, name):
+    return sum(1 for e in col.events if e["name"] == name)
+
+
 def main(argv=None) -> int:
     from repro.scenarios import run_campaign
 
@@ -81,7 +105,7 @@ def main(argv=None) -> int:
         print(f"reference: {ref.render()}")
 
         # Act 2 — recovery, deadline retry, and quarantine in one run.
-        with fault_plan(FAULTS):
+        with obs.telemetry() as col, fault_plan(FAULTS):
             faulty = run_campaign(
                 SCENARIOS, campaign=CAMPAIGN, results_dir=base / "run",
                 smoke=True, workers=2, retry=RETRY, schedule="ensembles",
@@ -96,6 +120,23 @@ def main(argv=None) -> int:
             f"quarantine: executed {faulty.executed}/{faulty.n_cells}"
         )
         assert faulty.store.quarantine_path.exists()
+        # Every injected fault must be visible in telemetry.  Supersets,
+        # not equality: a kill takes collateral shards (the pool sibling)
+        # down with it, and the delayed shard's deadline retry may also
+        # retry neighbours on a loaded machine.
+        lost = _event_shards(col, "executor.worker_lost")
+        retried = _event_shards(col, "executor.shard_retry")
+        exhausted = _event_shards(col, "executor.retry_budget_exhausted")
+        assert lost >= {0, 4}, f"kills missing from worker_lost: {lost}"
+        assert retried >= {0, 2, 4}, (
+            f"injected faults missing from shard_retry: {retried}"
+        )
+        assert exhausted == {4}, (
+            f"only the attempt=* kill may exhaust its budget: {exhausted}"
+        )
+        assert _event_count(col, "campaign.quarantine") == 1, (
+            "the exhausted cell must surface as one quarantine event"
+        )
 
         # Act 3 — fault-free resume: exactly the quarantined cell runs.
         with fault_plan(None):
@@ -128,7 +169,7 @@ def main(argv=None) -> int:
                 print(f"torn:      aborted as intended ({exc})")
             else:
                 raise AssertionError("torn append did not abort the campaign")
-        with fault_plan(None):
+        with obs.telemetry() as col, fault_plan(None):
             repaired = run_campaign(
                 SCENARIOS, campaign=CAMPAIGN, results_dir=base / "torn",
                 smoke=True, workers=1, resume=True,
@@ -137,6 +178,9 @@ def main(argv=None) -> int:
         assert repaired.skipped == 2, (
             f"tail repair should keep the 2 records before the torn "
             f"append, skipped {repaired.skipped}"
+        )
+        assert _event_count(col, "store.tail_repair") == 1, (
+            "the torn line must surface as exactly one tail-repair event"
         )
         assert _store_bytes(repaired) == (ref_results, ref_manifest), (
             "torn-then-resumed store is not byte-identical to the "
@@ -147,7 +191,7 @@ def main(argv=None) -> int:
         # Act 5 — cell-level scheduling: the pending-cell list itself is
         # sharded across the pool, and the same fault classes must be
         # absorbed/quarantined at cell granularity.
-        with fault_plan(CELL_FAULTS):
+        with obs.telemetry() as col, fault_plan(CELL_FAULTS):
             scheduled = run_campaign(
                 SCENARIOS, campaign=CAMPAIGN, results_dir=base / "cells",
                 smoke=True, workers=2, retry=RETRY, schedule="cells",
@@ -160,6 +204,20 @@ def main(argv=None) -> int:
         assert scheduled.executed == scheduled.n_cells - 1, (
             "cell scheduling: the single kill must be absorbed by a retry, "
             f"executed {scheduled.executed}/{scheduled.n_cells}"
+        )
+        lost = _event_shards(col, "executor.worker_lost")
+        exhausted = _event_shards(col, "executor.retry_budget_exhausted")
+        assert lost >= {1, 3}, f"cell kills missing from worker_lost: {lost}"
+        assert exhausted == {3}, (
+            f"only the attempt=* cell may exhaust its budget: {exhausted}"
+        )
+        # A killed attempt loses its in-worker span buffer by design; the
+        # replacement attempt's spans are the record — so every *executed*
+        # cell contributes exactly one drained "cell" span.
+        cell_spans = sum(1 for s in col.spans if s["name"] == "cell")
+        assert cell_spans == scheduled.executed, (
+            f"expected one drained cell span per executed cell, got "
+            f"{cell_spans} for {scheduled.executed} executed"
         )
         with fault_plan(None):
             converged = run_campaign(
@@ -175,6 +233,33 @@ def main(argv=None) -> int:
             "workers=1 run"
         )
         print("act 5: cell-scheduled kills + resume converged byte-identically")
+
+        # Act 6 — a CRC-failing final record: the campaign completes (the
+        # corruption is silent at write time), the resume must detect the
+        # bad tail line, repair it, and re-execute exactly that cell.
+        with fault_plan("corrupt:append=6"):
+            run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "corrupt",
+                smoke=True, workers=1,
+            )
+        with obs.telemetry() as col, fault_plan(None):
+            recovered = run_campaign(
+                SCENARIOS, campaign=CAMPAIGN, results_dir=base / "corrupt",
+                smoke=True, workers=1, resume=True,
+            )
+        print(f"recovered: {recovered.render()}")
+        assert _event_count(col, "store.tail_repair") == 1, (
+            "the corrupt line must surface as exactly one tail-repair event"
+        )
+        assert recovered.executed == 1, (
+            f"resume must re-execute only the corrupted cell, executed "
+            f"{recovered.executed}"
+        )
+        assert _store_bytes(recovered) == (ref_results, ref_manifest), (
+            "corrupt-then-resumed store is not byte-identical to the "
+            "fault-free workers=1 run"
+        )
+        print("act 6: corrupt tail + resume converged byte-identically")
 
     # Nothing above may leak worker processes — chaos runs recycle pools
     # aggressively, and every recycle must reap its corpses.

@@ -25,9 +25,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-import warnings
 
 from repro.errors import ParameterError
+from repro.utils.once import warn_once
 
 _ENV_VAR = "REPRO_KERNELS"
 
@@ -37,7 +37,8 @@ _OVERRIDES: list[bool] = []
 #: Cached numba availability probe (None = not yet probed).
 _NUMBA: bool | None = None
 
-_WARNED = False
+#: ``warn_once`` key for the kernels-without-numba diagnostic.
+NUMBA_MISSING_KEY = "kernels.numba-missing"
 
 
 def numba_available() -> bool:
@@ -96,17 +97,22 @@ def kernels(enabled: bool = True):
 
 
 def _warn_unavailable() -> None:
-    global _WARNED
-    if _WARNED:
-        return
-    _WARNED = True
-    warnings.warn(
+    warn_once(
+        NUMBA_MISSING_KEY,
         "REPRO_KERNELS requested compiled kernels but numba is not "
         "installed; continuing on the pure-NumPy path (identical "
         "results, more time)",
-        RuntimeWarning,
         stacklevel=3,
     )
+
+
+def kernels_provenance() -> str:
+    """Where the effective kernels setting came from (``runtime`` CLI)."""
+    if _OVERRIDES:
+        return "context"
+    if os.environ.get(_ENV_VAR) is not None:
+        return "env"
+    return "default"
 
 
 _REPLAY_KERNEL = None

@@ -1,0 +1,58 @@
+"""Per-worker cProfile capture and cross-process aggregation.
+
+The ``--profile`` hook scopes a directory via
+:func:`repro.obs.profiling`; each campaign worker (and the parent, for
+in-process phases) wraps its work in :func:`profiled` and dumps a
+``pid-<pid>-<n>.prof`` stats file there.  :func:`render_profile` merges
+every dump with :mod:`pstats` and prints the aggregate hot spots, so a
+multi-process campaign profiles like a single program.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import cProfile
+import io
+import itertools
+import os
+import pstats
+from pathlib import Path
+
+__all__ = ["profiled", "render_profile", "worker_profile_path"]
+
+#: Per-process dump counter, so one worker profiling several cells
+#: writes distinct files.
+_DUMP_COUNTER = itertools.count(1)
+
+
+def worker_profile_path(directory) -> Path:
+    """A fresh, process-unique stats path inside ``directory``."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    return root / f"pid-{os.getpid()}-{next(_DUMP_COUNTER)}.prof"
+
+
+@contextlib.contextmanager
+def profiled(path):
+    """Profile the block with cProfile and dump stats to ``path``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(os.fspath(path))
+
+
+def render_profile(directory, *, limit: int = 25) -> str:
+    """Aggregate every ``*.prof`` dump under ``directory`` and render it."""
+    paths = sorted(Path(directory).glob("*.prof"))
+    if not paths:
+        return f"no profile dumps under {directory}"
+    stream = io.StringIO()
+    stats = pstats.Stats(str(paths[0]), stream=stream)
+    for path in paths[1:]:
+        stats.add(str(path))
+    stats.sort_stats("cumulative").print_stats(limit)
+    header = f"aggregated {len(paths)} profile dump(s) from {directory}"
+    return header + "\n" + stream.getvalue().rstrip()

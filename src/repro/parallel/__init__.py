@@ -48,10 +48,12 @@ from repro.parallel.executor import (
     resolve_retry_policy,
     resolve_schedule,
     resolve_workers,
+    schedule_provenance,
     retry_policy,
     run_shards,
     set_default_schedule,
     set_default_workers,
+    workers_provenance,
     set_retry_policy,
     sharing_enabled,
     suggested_workers,
@@ -113,11 +115,13 @@ __all__ = [
     "get_default_workers",
     "default_workers",
     "resolve_workers",
+    "workers_provenance",
     "SCHEDULE_MODES",
     "set_default_schedule",
     "get_default_schedule",
     "default_schedule",
     "resolve_schedule",
+    "schedule_provenance",
     "suggested_workers",
     "pool_start_method",
     "trace_sharing",

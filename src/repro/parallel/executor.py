@@ -50,9 +50,9 @@ import multiprocessing
 import os
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.errors import (
     ParameterError,
     RetryBudgetError,
@@ -60,6 +60,7 @@ from repro.errors import (
     WorkerLostError,
 )
 from repro.faults import active_plan, call_with_faults, next_shard_base
+from repro.utils.once import warn_once
 
 
 def _validate_workers(workers) -> int:
@@ -99,8 +100,9 @@ def _workers_from_env() -> int:
 #: (None = not yet read), overridden by ``--workers`` at the CLI.
 _DEFAULT_WORKERS: int | None = None
 
-#: One-time flag for the pool-failure diagnostic.
-_POOL_FAILURE_WARNED = False
+#: Provenance of the session worker default, for the ``runtime`` CLI:
+#: "default", "env", "cli", or "context".
+_WORKERS_SOURCE = "default"
 
 #: When False, parallel entry points skip the zero-copy trace protocol
 #: and dispatch shard arguments by pickling (PR 2 behaviour) — kept as a
@@ -108,18 +110,28 @@ _POOL_FAILURE_WARNED = False
 _SHARE_TRACES = True
 
 
-def set_default_workers(workers: int) -> None:
+def set_default_workers(workers: int, *, _source: str = "cli") -> None:
     """Set the session default used when a call site passes ``workers=None``."""
-    global _DEFAULT_WORKERS
+    global _DEFAULT_WORKERS, _WORKERS_SOURCE
     _DEFAULT_WORKERS = _validate_workers(workers)
+    _WORKERS_SOURCE = _source
 
 
 def get_default_workers() -> int:
     """Current session default worker count (reads ``REPRO_WORKERS`` once)."""
-    global _DEFAULT_WORKERS
+    global _DEFAULT_WORKERS, _WORKERS_SOURCE
     if _DEFAULT_WORKERS is None:
         _DEFAULT_WORKERS = _workers_from_env()
+        _WORKERS_SOURCE = (
+            "env" if os.environ.get("REPRO_WORKERS") is not None else "default"
+        )
     return _DEFAULT_WORKERS
+
+
+def workers_provenance() -> str:
+    """Where the effective worker default came from (``runtime`` CLI)."""
+    get_default_workers()
+    return _WORKERS_SOURCE
 
 
 @contextlib.contextmanager
@@ -133,16 +145,18 @@ def default_workers(workers: int | None):
     actually *consulted* (a ``workers=None`` resolution outside any
     override).
     """
-    global _DEFAULT_WORKERS
+    global _DEFAULT_WORKERS, _WORKERS_SOURCE
     if workers is None:
         yield
         return
     previous = _DEFAULT_WORKERS  # may be the unread-env sentinel (None)
-    set_default_workers(workers)
+    previous_source = _WORKERS_SOURCE
+    set_default_workers(workers, _source="context")
     try:
         yield
     finally:
         _DEFAULT_WORKERS = previous
+        _WORKERS_SOURCE = previous_source
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -221,6 +235,9 @@ SCHEDULE_MODES = ("auto", "cells", "ensembles")
 #: (None = not yet read), overridden by ``--schedule`` at the CLI.
 _DEFAULT_SCHEDULE: str | None = None
 
+#: Provenance of the session schedule mode (see ``_WORKERS_SOURCE``).
+_SCHEDULE_SOURCE = "default"
+
 
 def _validate_schedule(mode) -> str:
     if not isinstance(mode, str) or mode not in SCHEDULE_MODES:
@@ -252,18 +269,28 @@ def _schedule_from_env() -> str:
     )
 
 
-def set_default_schedule(mode: str) -> None:
+def set_default_schedule(mode: str, *, _source: str = "cli") -> None:
     """Set the session schedule mode used when a call site passes ``None``."""
-    global _DEFAULT_SCHEDULE
+    global _DEFAULT_SCHEDULE, _SCHEDULE_SOURCE
     _DEFAULT_SCHEDULE = _validate_schedule(mode)
+    _SCHEDULE_SOURCE = _source
 
 
 def get_default_schedule() -> str:
     """Current session schedule mode (reads ``REPRO_SCHEDULE`` once)."""
-    global _DEFAULT_SCHEDULE
+    global _DEFAULT_SCHEDULE, _SCHEDULE_SOURCE
     if _DEFAULT_SCHEDULE is None:
         _DEFAULT_SCHEDULE = _schedule_from_env()
+        _SCHEDULE_SOURCE = (
+            "env" if os.environ.get("REPRO_SCHEDULE") is not None else "default"
+        )
     return _DEFAULT_SCHEDULE
+
+
+def schedule_provenance() -> str:
+    """Where the effective schedule mode came from (``runtime`` CLI)."""
+    get_default_schedule()
+    return _SCHEDULE_SOURCE
 
 
 @contextlib.contextmanager
@@ -274,16 +301,18 @@ def default_schedule(mode: str | None):
     unresolved, so an explicit mode wins over a malformed env value and
     the env error still fires when the default is genuinely consulted.
     """
-    global _DEFAULT_SCHEDULE
+    global _DEFAULT_SCHEDULE, _SCHEDULE_SOURCE
     if mode is None:
         yield
         return
     previous = _DEFAULT_SCHEDULE  # may be the unread-env sentinel (None)
-    set_default_schedule(mode)
+    previous_source = _SCHEDULE_SOURCE
+    set_default_schedule(mode, _source="context")
     try:
         yield
     finally:
         _DEFAULT_SCHEDULE = previous
+        _SCHEDULE_SOURCE = previous_source
 
 
 def resolve_schedule(mode: str | None) -> str:
@@ -307,20 +336,22 @@ def _create_pool(method: str, processes: int):
     catch :data:`_POOL_CREATION_ERRORS`.
     """
     ctx = multiprocessing.get_context(method)
-    return ctx.Pool(processes=processes)
+    pool = ctx.Pool(processes=processes)
+    obs.count("executor.pool_forks")
+    return pool
+
+
+#: ``warn_once`` key for the serial-degradation diagnostic.
+POOL_FAILURE_KEY = "parallel.pool-unavailable"
 
 
 def _warn_pool_failure(exc: BaseException) -> None:
     """One-time diagnostic naming why shards are running serially."""
-    global _POOL_FAILURE_WARNED
-    if _POOL_FAILURE_WARNED:
-        return
-    _POOL_FAILURE_WARNED = True
-    warnings.warn(
+    warn_once(
+        POOL_FAILURE_KEY,
         "repro.parallel: could not create a worker pool "
         f"({type(exc).__name__}: {exc}); shards will run serially in this "
         "session (results are identical, only slower)",
-        RuntimeWarning,
         stacklevel=4,
     )
 
@@ -600,6 +631,10 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
             handles = []
             for i in batch:
                 attempts[i] += 1
+                if attempts[i] > 1:
+                    obs.event("executor.shard_retry", shard=base + i,
+                              attempt=attempts[i])
+                    obs.count("executor.retries")
                 handles.append(
                     (i, _dispatch_shard(pool, fn, tasks[i], plan, base + i,
                                         attempts[i]))
@@ -616,6 +651,9 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
                             f"shard {base + i} lost to a dead pool worker "
                             f"(attempt {attempts[i]} of {policy.max_attempts})"
                         )
+                        obs.event("executor.worker_lost", shard=base + i,
+                                  attempt=attempts[i])
+                        obs.count("executor.worker_losses")
                         batch_lost = True
                         break
                     if (
@@ -627,6 +665,9 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
                             f"{policy.shard_deadline:g}s deadline "
                             f"(attempt {attempts[i]} of {policy.max_attempts})"
                         )
+                        obs.event("executor.shard_deadline", shard=base + i,
+                                  attempt=attempts[i])
+                        obs.count("executor.deadline_misses")
                         batch_lost = True
                         break
                     handle.wait(_POLL_INTERVAL)
@@ -638,10 +679,16 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
                 # round, and before giving up, so a persistent runtime
                 # session stays healthy either way.
                 provider.recycle()
+                obs.event("executor.pool_recycle")
+                obs.count("executor.pool_recycles")
         if not lost:
             return results
         exhausted = sorted(i for i in lost if attempts[i] >= policy.max_attempts)
         if exhausted:
+            for i in exhausted:
+                obs.event("executor.retry_budget_exhausted", shard=base + i,
+                          attempts=attempts[i])
+                obs.count("executor.budget_exhaustions")
             if not collect_errors:
                 detail = "; ".join(str(lost[i]) for i in exhausted)
                 raise RetryBudgetError(
@@ -656,6 +703,17 @@ def _supervise(fn, tasks, *, policy: RetryPolicy, plan, base: int, provider,
                 del lost[i]
         round_no += 1
         pending = sorted(lost)
+    return results
+
+
+def _run_serial(fn, tasks, plan, base: int) -> list:
+    """The in-process path: shard spans, no pool, results in order."""
+    results = []
+    for i, task in enumerate(tasks):
+        with obs.span("shard", index=base + i):
+            results.append(
+                _call_shard(fn, task, plan, base + i, 1, in_worker=False)
+            )
     return results
 
 
@@ -705,11 +763,9 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
     # Claim shard indices even on the serial path: fault directives must
     # address the same unit of work regardless of the worker count.
     base = next_shard_base(len(tasks)) if plan is not None else 0
+    obs.count("executor.shards", len(tasks))
     if n_workers <= 1 or len(tasks) <= 1:
-        return [
-            _call_shard(fn, task, plan, base + i, 1, in_worker=False)
-            for i, task in enumerate(tasks)
-        ]
+        return _run_serial(fn, tasks, plan, base)
     supervised = pol.supervises or (plan is not None and plan.has_shard_faults())
     if not fresh_pool:
         from repro.parallel.runtime import PoolUnavailableError, active_runtime
@@ -727,10 +783,7 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
                 )
             except PoolUnavailableError as exc:
                 _warn_pool_failure(exc.__cause__ or exc)
-                return [
-                    _call_shard(fn, task, plan, base + i, 1, in_worker=False)
-                    for i, task in enumerate(tasks)
-                ]
+                return _run_serial(fn, tasks, plan, base)
     provider = _FreshPoolProvider(pool_start_method(), min(n_workers, len(tasks)))
     try:
         pool = provider.pool()
@@ -739,10 +792,7 @@ def run_shards(fn, tasks, *, workers: int | None = None, fresh_pool: bool = Fals
         # parent, ...): degrade to the serial path, which is bit-for-bit
         # identical by construction — but say so, once.
         _warn_pool_failure(exc)
-        return [
-            _call_shard(fn, task, plan, base + i, 1, in_worker=False)
-            for i, task in enumerate(tasks)
-        ]
+        return _run_serial(fn, tasks, plan, base)
     try:
         if supervised:
             return _supervise(fn, tasks, policy=pol, plan=plan, base=base,

@@ -41,6 +41,7 @@ import os
 import threading
 import time
 
+import repro.obs as obs
 from repro.errors import ParameterError
 from repro.parallel.executor import (
     _POOL_CREATION_ERRORS,
@@ -180,6 +181,7 @@ class PoolRuntime:
             self._pool_size = size
             self._start_method = method
             self.forks += 1
+            obs.event("runtime.pool_fork", size=size, forks=self.forks)
         return self._pool
 
     def _teardown_locked(self) -> None:
@@ -212,6 +214,7 @@ class PoolRuntime:
             idle = time.monotonic() - self._last_used
             if idle + 1e-3 >= self._idle_timeout:
                 self._teardown_locked()
+                obs.event("runtime.idle_teardown", idle_s=round(idle, 3))
             else:  # a region ran since the timer was armed; re-arm the rest
                 self._schedule_teardown_locked()
 

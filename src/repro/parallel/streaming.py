@@ -47,13 +47,13 @@ import queue as queue_module
 from multiprocessing import shared_memory
 import threading
 import time
-import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import (
     ParameterError,
     RetryBudgetError,
@@ -74,6 +74,7 @@ from repro.queueing.simulation import queue_occupancy
 from repro.trace.io import _CSV_DTYPE, DEFAULT_CHUNK_PACKETS, iter_trace_chunks
 from repro.trace.packet import PacketTrace
 from repro.trace.store import TraceStore
+from repro.utils.once import warn_once
 
 #: Backends accepted by :func:`prefetch_chunks` / ``REPRO_PREFETCH``.
 _PREFETCH_BACKENDS = ("thread", "process")
@@ -159,6 +160,11 @@ def prefetch_chunks(
 
 
 def _thread_prefetch(chunks: Iterable, depth: int) -> Iterator:
+    # One collector lookup per stream, not per chunk: the consumer loop
+    # is the ingest hot path and must stay a plain queue drain when off.
+    col = obs.current_collector()
+    if col is not None:
+        col.gauge_max("prefetch.depth", depth)
     source = iter(chunks)
     buffer: queue_module.Queue = queue_module.Queue(maxsize=depth)
     stop = threading.Event()
@@ -188,8 +194,18 @@ def _thread_prefetch(chunks: Iterable, depth: int) -> Iterator:
     thread.start()
     try:
         while True:
-            kind, payload = buffer.get()
+            if col is None:
+                kind, payload = buffer.get()
+            else:
+                waited = time.monotonic()
+                kind, payload = buffer.get()
+                waited = time.monotonic() - waited
+                if waited >= 1e-3:  # the consumer genuinely stalled
+                    col.count("prefetch.stalls")
+                    col.count("prefetch.stall_s", round(waited, 6))
             if kind == "chunk":
+                if col is not None:
+                    col.count("prefetch.chunks")
                 yield payload
             elif kind == "done":
                 return
@@ -205,20 +221,17 @@ def _thread_prefetch(chunks: Iterable, depth: int) -> Iterator:
 #: TraceHandle carries plain-dtype geometry only.
 _SHIP_DTYPE = _CSV_DTYPE
 
-_PROCESS_FALLBACK_WARNED = False
+#: ``warn_once`` key for the process-prefetch degradation diagnostic.
+PROCESS_FALLBACK_KEY = "prefetch.process-fallback"
 
 
 def _warn_process_fallback(reason: str) -> None:
     """One-time diagnostic naming why prefetch degraded to a thread."""
-    global _PROCESS_FALLBACK_WARNED
-    if _PROCESS_FALLBACK_WARNED:
-        return
-    _PROCESS_FALLBACK_WARNED = True
-    warnings.warn(
+    warn_once(
+        PROCESS_FALLBACK_KEY,
         f"repro.parallel: process prefetch unavailable ({reason}); "
         "falling back to the thread backend (identical chunks, shared "
         "GIL)",
-        RuntimeWarning,
         stacklevel=4,
     )
 
@@ -393,6 +406,9 @@ def _process_prefetch(
         _warn_process_fallback("no fork start method on this platform")
         yield from _thread_prefetch(source, depth)
         return
+    col = obs.current_collector()
+    if col is not None:
+        col.gauge_max("prefetch.depth", depth)
     ctx = multiprocessing.get_context("fork")
     delivered = 0
     attempt = 1
@@ -413,11 +429,13 @@ def _process_prefetch(
             return
         worker_lost = None
         recent_acks: deque = deque(maxlen=depth + 2)
+        waited = 0.0
         try:
             while True:
                 try:
                     kind, seq, payload = data_queue.get(timeout=_POLL_INTERVAL)
                 except queue_module.Empty:
+                    waited += _POLL_INTERVAL
                     if not child.is_alive():
                         _sweep_dead_sidecar(data_queue, recent_acks)
                         worker_lost = WorkerLostError(
@@ -425,6 +443,10 @@ def _process_prefetch(
                             f"exit code {child.exitcode} after chunk "
                             f"{delivered - 1} (attempt {attempt})"
                         )
+                        if col is not None:
+                            col.event("prefetch.worker_lost", attempt=attempt,
+                                      delivered=delivered)
+                            col.count("prefetch.worker_losses")
                         break
                     continue
                 if kind == "chunk":
@@ -432,6 +454,15 @@ def _process_prefetch(
                     ack_queue.put(seq)
                     if payload.kind == "shm":
                         recent_acks.append(payload.ref)
+                    if col is not None:
+                        col.count("prefetch.chunks")
+                        if waited >= _POLL_INTERVAL:
+                            col.count("prefetch.stalls")
+                            col.count("prefetch.stall_s", round(waited, 6))
+                        if payload.kind == "shm":
+                            col.count("shm.bytes_shipped",
+                                      len(chunk) * _SHIP_DTYPE.itemsize)
+                    waited = 0.0
                     delivered = seq + 1
                     yield chunk
                 elif kind == "done":
@@ -450,6 +481,9 @@ def _process_prefetch(
         time.sleep(min(policy.backoff_base * 2 ** (attempt - 1),
                        policy.backoff_cap))
         attempt += 1
+        if col is not None:
+            col.event("prefetch.sidecar_relaunch", attempt=attempt,
+                      skip=delivered)
 
 
 def _skip_chunks(chunks: Iterable, skip: int) -> Iterator:
@@ -544,19 +578,21 @@ def streamed_trace_size_moments(
     """
     if backend is None:
         backend = prefetch_backend_from_env()
-    if pipelined and backend == "process":
-        trace_chunks: Iterable = prefetch_chunks(
-            TraceChunkSource(str(path), chunk_size=chunk_size),
-            backend="process",
+    with obs.span("ingest.stream", path=str(path), backend=backend,
+                  pipelined=pipelined):
+        if pipelined and backend == "process":
+            trace_chunks: Iterable = prefetch_chunks(
+                TraceChunkSource(str(path), chunk_size=chunk_size),
+                backend="process",
+            )
+        else:
+            trace_chunks = iter_trace_chunks(path, chunk_size=chunk_size)
+        chunks: Iterable = (
+            chunk.sizes.astype(np.float64) for chunk in trace_chunks
         )
-    else:
-        trace_chunks = iter_trace_chunks(path, chunk_size=chunk_size)
-    chunks: Iterable = (
-        chunk.sizes.astype(np.float64) for chunk in trace_chunks
-    )
-    if pipelined and backend == "thread":
-        chunks = prefetch_chunks(chunks)
-    return streamed_moments(chunks)
+        if pipelined and backend == "thread":
+            chunks = prefetch_chunks(chunks)
+        return streamed_moments(chunks)
 
 
 def parallel_chunk_tail_probabilities(

@@ -36,7 +36,7 @@ from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
 )
-from repro.scenarios.report import render_report
+from repro.scenarios.report import render_report, report_json
 from repro.scenarios.schedule import (
     CellSchedule,
     cell_cost,
@@ -77,4 +77,5 @@ __all__ = [
     "ResultStore",
     "grid_hash",
     "render_report",
+    "report_json",
 ]

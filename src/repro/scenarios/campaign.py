@@ -37,6 +37,7 @@ same reducers run on the binned byte rate.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import signal
 import threading
@@ -44,6 +45,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
+
+import repro.obs as obs
 
 from repro.core.metrics import (
     interval_coverage,
@@ -57,7 +60,12 @@ from repro.experiments.config import MASTER_SEED
 from repro.hurst.confidence import hurst_confidence_interval
 from repro.hurst.registry import estimate_hurst
 from repro.parallel import parallel_tail_probabilities
-from repro.parallel.executor import RetryPolicy, default_workers, retry_policy
+from repro.parallel.executor import (
+    RetryPolicy,
+    default_workers,
+    resolve_workers,
+    retry_policy,
+)
 from repro.parallel.runtime import active_runtime
 from repro.queueing.norros import overflow_probability
 from repro.queueing.simulation import queue_occupancy, utilisation_for_load
@@ -496,56 +504,90 @@ def run_campaign(
         resume=resume,
     )
     executed = skipped = quarantined = 0
+    telemetry_meta = {"campaign": campaign, "seed": int(seed),
+                      "smoke": bool(smoke), "resume": bool(resume)}
 
     def _quarantine(cell: Cell, error_type: str, message: str) -> None:
+        obs.event("campaign.quarantine", key=cell.key, error=error_type)
+        obs.count("campaign.cells_quarantined")
         store.quarantine({
             "key": cell.key,
             "label": cell_label(campaign, cell),
             "error": {"type": error_type, "message": message},
         })
 
-    try:
-        with _sigterm_as_interrupt(), default_workers(workers), \
-                retry_policy(retry):
-            pending = []
-            for cell in cells:
-                if store.is_completed(cell.key):
-                    skipped += 1
-                else:
-                    pending.append(cell)
-            if max_cells is not None:
-                pending = pending[:max_cells]
-            plan = plan_campaign(pending, mode=schedule)
-            if plan.mode == "cells":
-                for cell, outcome in iter_cell_results(
-                    plan, pending, campaign=campaign, seed=seed
-                ):
-                    if outcome[0] == "ok":
-                        store.append(outcome[1])
-                        executed += 1
+    # One scoped collector per campaign: the sidecar below covers exactly
+    # this run, while an enclosing telemetry() scope (tests, chaos) still
+    # absorbs everything on exit.  None when telemetry is off.
+    with obs.scoped_collector() as collector:
+        try:
+            with _sigterm_as_interrupt(), default_workers(workers), \
+                    retry_policy(retry), \
+                    obs.span("campaign", name=campaign, smoke=smoke):
+                pending = []
+                for cell in cells:
+                    if store.is_completed(cell.key):
+                        skipped += 1
                     else:
-                        _quarantine(cell, outcome[1], outcome[2])
-                        quarantined += 1
-            else:
-                for cell in pending:
-                    try:
-                        record = evaluate_cell(
-                            cell, campaign=campaign, seed=seed
+                        pending.append(cell)
+                if max_cells is not None:
+                    pending = pending[:max_cells]
+                if skipped:
+                    obs.count("campaign.cells_skipped", skipped)
+                plan = plan_campaign(pending, mode=schedule)
+                telemetry_meta["schedule"] = plan.mode
+                telemetry_meta["workers"] = resolve_workers(None)
+                obs.event("campaign.plan", mode=plan.mode,
+                          pending=len(pending), rounds=plan.n_rounds)
+                if plan.mode == "cells":
+                    for cell, outcome in iter_cell_results(
+                        plan, pending, campaign=campaign, seed=seed
+                    ):
+                        if outcome[0] == "ok":
+                            store.append(outcome[1])
+                            executed += 1
+                            obs.count("campaign.cells_executed")
+                        else:
+                            _quarantine(cell, outcome[1], outcome[2])
+                            quarantined += 1
+                else:
+                    profile_to = obs.profile_dir()
+                    profile_scope = contextlib.nullcontext()
+                    if profile_to is not None:
+                        from repro.obs.profile import (
+                            profiled,
+                            worker_profile_path,
                         )
-                    except ExecutionError as exc:
-                        _quarantine(cell, type(exc).__name__, str(exc))
-                        quarantined += 1
-                        continue
-                    store.append(record)
-                    executed += 1
-    except KeyboardInterrupt:
-        # Appends are fsync-durable, so the store needs no flush; what a
-        # kill must not leave behind is a live worker pool.
-        runtime = active_runtime()
-        if runtime is not None:
-            runtime.restart()
-        raise
-    store.finalize([cell.key for cell in cells])
+
+                        profile_scope = profiled(
+                            worker_profile_path(profile_to)
+                        )
+                    with profile_scope:
+                        for cell in pending:
+                            try:
+                                with obs.span("cell", key=cell.key):
+                                    record = evaluate_cell(
+                                        cell, campaign=campaign, seed=seed
+                                    )
+                            except ExecutionError as exc:
+                                _quarantine(cell, type(exc).__name__, str(exc))
+                                quarantined += 1
+                                continue
+                            store.append(record)
+                            executed += 1
+                            obs.count("campaign.cells_executed")
+        except KeyboardInterrupt:
+            # Appends are fsync-durable, so the store needs no flush; what a
+            # kill must not leave behind is a live worker pool.
+            runtime = active_runtime()
+            if runtime is not None:
+                runtime.restart()
+            raise
+        store.finalize([cell.key for cell in cells])
+        if collector is not None:
+            collector.event("campaign.summary", executed=executed,
+                            skipped=skipped, quarantined=quarantined)
+            _write_telemetry(store, collector, telemetry_meta)
     return CampaignSummary(
         campaign=campaign,
         n_cells=len(cells),
@@ -554,3 +596,15 @@ def run_campaign(
         store=store,
         quarantined=quarantined,
     )
+
+
+def _write_telemetry(store: ResultStore, collector, meta: dict) -> None:
+    """Append this run to the campaign's ``telemetry.jsonl`` sidecar.
+
+    The sidecar lives next to the store but is explicitly *outside* the
+    byte-identity contracts (it is where wall-clock time lives); the
+    manifest never hashes or counts it, and resume ignores it.
+    """
+    from repro.obs.record import write_run
+
+    write_run(store.directory / "telemetry.jsonl", collector, meta)

@@ -105,6 +105,82 @@ def _by_sampler_table(records: list[dict]) -> str:
     return format_table(headers, rows, title="[campaign] accuracy by sampler")
 
 
+def report_json(store: ResultStore) -> dict:
+    """Machine-readable mirror of :func:`render_report`.
+
+    Same aggregations as the plain-text tables — per-cell rows grouped
+    by scenario plus the campaign-wide by-sampler comparison — but as a
+    JSON-serialisable dict for dashboards and CI checks
+    (``scenarios report --json``).
+    """
+    manifest = store.read_manifest()
+    records = store.records()
+
+    def _mean_of(values) -> float | None:
+        kept = [v for v in values if v is not None and math.isfinite(v)]
+        return float(np.mean(kept)) if kept else None
+
+    by_scenario: dict[str, list[dict]] = {}
+    for record in records:
+        by_scenario.setdefault(record["scenario"], []).append(record)
+    scenarios = {}
+    for name in sorted(by_scenario):
+        cells = []
+        for record in by_scenario[name]:
+            confidence = record.get("confidence") or {}
+            queue = record.get("queue") or {}
+            cells.append({
+                "key": record["key"],
+                "mean_err": record["errors"]["mean"],
+                "mare": record["errors"]["mean_abs_ensemble"],
+                "hurst_mae": _hurst_error(record),
+                "tail_err": record["errors"]["tail"],
+                "ci_covers": confidence.get("covers"),
+                "queue_dlog10": queue.get("norros_log10_err_sampled"),
+            })
+        scenarios[name] = cells
+
+    groups: dict[str, list[dict]] = {}
+    for record in records:
+        groups.setdefault(record["sampler"]["kind"], []).append(record)
+    by_sampler = {}
+    for kind in sorted(groups):
+        cells = groups[kind]
+        covers = [
+            (r.get("confidence") or {}).get("covers") for r in cells
+        ]
+        covers = [c for c in covers if c is not None]
+        by_sampler[kind] = {
+            "cells": len(cells),
+            "abs_mean_err": _mean_of(
+                abs(r["errors"]["mean"]) if r["errors"]["mean"] is not None
+                else None
+                for r in cells
+            ),
+            "mare": _mean_of(
+                r["errors"]["mean_abs_ensemble"] for r in cells
+            ),
+            "hurst_mae": _mean_of(_hurst_error(r) for r in cells),
+            "abs_tail_err": _mean_of(
+                abs(r["errors"]["tail"]) if r["errors"]["tail"] is not None
+                else None
+                for r in cells
+            ),
+            "ci_coverage": float(np.mean(covers)) if covers else None,
+        }
+
+    return {
+        "campaign": manifest["campaign"],
+        "seed": manifest["seed"],
+        "grid_hash": manifest["grid_hash"],
+        "smoke": bool(manifest.get("smoke")),
+        "cells_complete": len(records),
+        "n_cells": manifest["n_cells"],
+        "scenarios": scenarios,
+        "by_sampler": by_sampler,
+    }
+
+
 def render_report(store: ResultStore) -> str:
     """The full plain-text report of one campaign's stored results."""
     manifest = store.read_manifest()

@@ -47,8 +47,11 @@ the campaign quarantines without aborting its siblings.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass
 
+import repro.obs as obs
 from repro.errors import ExecutionError
 from repro.faults import fault_plan
 from repro.parallel.executor import (
@@ -173,7 +176,8 @@ def plan_campaign(cells, *, workers: int | None = None,
 
 
 # ---------------------------------------------------------------- dispatch
-def _cell_worker(cell: Cell, campaign: str, seed: int):
+def _cell_worker(cell: Cell, campaign: str, seed: int,
+                 telemetry: bool = False, profile_to: str | None = None):
     """Evaluate one cell in a pool worker (module-level, picklable).
 
     The cell is the unit of parallelism here, so the evaluation runs
@@ -184,21 +188,35 @@ def _cell_worker(cell: Cell, campaign: str, seed: int):
     calls inside ``evaluate_cell`` must not consume the plan's global
     shard indices from inside a child.
 
-    Returns a tagged tuple rather than raising: ``("ok", record)`` or
-    ``("quarantine", error_type, message)``, so an in-cell
+    Returns a tagged tuple rather than raising: ``("ok", record, obs)``
+    or ``("quarantine", error_type, message, obs)``, so an in-cell
     :class:`~repro.errors.ExecutionError` travels back to the parent's
     quarantine path exactly like the serial loop's ``except`` does.
+    The trailing element is the worker's drained telemetry buffer
+    (None when telemetry is off) — a fresh post-fork collector, shipped
+    home through the result path and absorbed by the parent; a killed
+    attempt loses its buffer by design and the replacement attempt's
+    spans are the record.
     """
     from repro.scenarios import campaign as campaign_module
 
-    with default_workers(1), fault_plan(None):
+    profile_scope = contextlib.nullcontext()
+    if profile_to is not None:
+        from repro.obs.profile import profiled, worker_profile_path
+
+        profile_scope = profiled(worker_profile_path(profile_to))
+    with default_workers(1), fault_plan(None), \
+            obs.telemetry(telemetry) as collector, profile_scope:
         try:
-            record = campaign_module.evaluate_cell(
-                cell, campaign=campaign, seed=seed
-            )
+            with obs.span("cell", key=cell.key):
+                record = campaign_module.evaluate_cell(
+                    cell, campaign=campaign, seed=seed
+                )
         except ExecutionError as exc:
-            return ("quarantine", type(exc).__name__, str(exc))
-    return ("ok", record)
+            return ("quarantine", type(exc).__name__, str(exc),
+                    collector.export() if collector is not None else None)
+    return ("ok", record,
+            collector.export() if collector is not None else None)
 
 
 def iter_cell_results(schedule: CellSchedule, cells, *, campaign: str,
@@ -215,17 +233,77 @@ def iter_cell_results(schedule: CellSchedule, cells, *, campaign: str,
     the serial loop would have, which is what makes the store and
     manifest byte-identical.
 
-    Outcomes are the worker's tagged tuples; a shard whose retry budget
-    was exhausted arrives as ``("quarantine", "RetryBudgetError", ...)``.
+    Outcomes are the worker's tagged tuples with the telemetry payload
+    absorbed and stripped — ``("ok", record)`` / ``("quarantine",
+    error_type, message)``; a shard whose retry budget was exhausted
+    arrives as ``("quarantine", "RetryBudgetError", ...)``.
     """
-    for round_indices in schedule.rounds:
-        tasks = [(cells[i], campaign, seed) for i in round_indices]
-        outcomes = run_shards(
-            _cell_worker, tasks, chunksize=1, collect_errors=True
-        )
+    telemetry = obs.telemetry_enabled()
+    profile_to = obs.profile_dir()
+    for round_no, round_indices in enumerate(schedule.rounds):
+        tasks = [
+            (cells[i], campaign, seed, telemetry, profile_to)
+            for i in round_indices
+        ]
+        with obs.span("schedule.round", index=round_no,
+                      n_cells=len(round_indices)):
+            started = time.monotonic()
+            outcomes = run_shards(
+                _cell_worker, tasks, chunksize=1, collect_errors=True
+            )
+            wall = time.monotonic() - started
+            outcomes, busy = zip(*(_drain_outcome(o) for o in outcomes))
+            _record_round(round_no, round_indices, wall, sum(busy))
         by_index = dict(zip(round_indices, outcomes))
         for i in sorted(by_index):
             outcome = by_index[i]
             if isinstance(outcome, ExecutionError):
                 outcome = ("quarantine", type(outcome).__name__, str(outcome))
             yield cells[i], outcome
+
+
+def _drain_outcome(outcome):
+    """Absorb a worker's shipped telemetry; return (stripped, busy_s).
+
+    ``busy_s`` is the worker-measured root-span time of the outcome —
+    what the round imbalance/idle metrics are computed from.  Outcomes
+    without a payload (telemetry off, or a ``RetryBudgetError`` in the
+    slot) pass through untouched.
+    """
+    if not isinstance(outcome, tuple):
+        return outcome, 0.0
+    if outcome[0] == "ok" and len(outcome) == 3:
+        payload, stripped = outcome[2], outcome[:2]
+    elif outcome[0] == "quarantine" and len(outcome) == 4:
+        payload, stripped = outcome[3], outcome[:3]
+    else:
+        return outcome, 0.0
+    if payload is None:
+        return stripped, 0.0
+    ids = {span["id"] for span in payload.get("spans", ())}
+    busy = sum(
+        span["duration_s"] for span in payload.get("spans", ())
+        if span.get("parent") not in ids
+    )
+    collector = obs.current_collector()
+    if collector is not None:
+        collector.absorb(payload)
+    return stripped, busy
+
+
+def _record_round(round_no: int, indices, wall: float, busy: float) -> None:
+    """Emit the PR 9 scheduler's health numbers as telemetry."""
+    collector = obs.current_collector()
+    if collector is None or wall <= 0:
+        return
+    n_workers = max(min(resolve_workers(None), len(indices)), 1)
+    ideal = busy / n_workers
+    imbalance = wall / ideal if ideal > 0 else 1.0
+    idle = max(1.0 - busy / (wall * n_workers), 0.0)
+    collector.event(
+        "schedule.round", index=round_no, n_cells=len(indices),
+        wall_s=round(wall, 6), busy_s=round(busy, 6),
+        idle_fraction=round(idle, 4), imbalance=round(imbalance, 3),
+    )
+    collector.gauge_max("schedule.round_imbalance", round(imbalance, 3))
+    collector.gauge_max("schedule.pool_idle_fraction", round(idle, 4))

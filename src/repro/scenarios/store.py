@@ -51,6 +51,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import InjectedFault, ParameterError, StoreIntegrityError
 from repro.faults import active_plan
 from repro.parallel.executor import machine_metadata
@@ -280,6 +281,9 @@ class ResultStore:
         if keep != raw:
             with open(self.results_path, "r+b") as fh:
                 fh.truncate(len(keep))
+            obs.event("store.tail_repair", path=str(self.results_path),
+                      bytes_dropped=len(raw) - len(keep))
+            obs.count("store.tail_repairs")
 
     def _load_completed(self) -> None:
         """Index completed cells, verifying every record's checksum.
@@ -346,6 +350,8 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
         self._completed.add(record["key"])
+        obs.count("store.appends")
+        obs.count("store.bytes_appended", len(line))
 
     def records(self) -> list[dict]:
         """Every completed cell record, in run (= file) order.
@@ -401,6 +407,7 @@ class ResultStore:
             fh.flush()
             os.fsync(fh.fileno())
         self._quarantined.add(record["key"])
+        obs.count("store.quarantine_records")
         manifest = self.read_manifest()
         manifest["quarantined"] = len(self._quarantined)
         self._write_manifest(manifest)
@@ -463,6 +470,8 @@ class ResultStore:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.results_path)
+            obs.event("store.compact", records=len(ordered))
+            obs.count("store.compactions")
         if self.quarantine_path.exists():
             self.quarantine_path.unlink()
         manifest = self.read_manifest()

@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+import repro.obs as obs
 from repro.errors import ParameterError, TraceFormatError
 from repro.trace.io import _BINARY_MAGIC, _RECORD_DTYPE
 from repro.trace.process import RateProcess
@@ -73,25 +74,21 @@ _ATTACHED_MAX = 8
 _TOKENS = itertools.count()
 
 
-#: One-time flag for the shm-fallback diagnostic under a persistent pool.
-_SHM_FALLBACK_WARNED = False
+#: ``warn_once`` key for the shm-fallback diagnostic under a persistent pool.
+SHM_FALLBACK_KEY = "trace.shm-fallback"
 
 
 def _warn_shm_fallback(exc: BaseException) -> None:
     """One-time diagnostic: a live persistent pool lost zero-copy dispatch."""
-    global _SHM_FALLBACK_WARNED
-    if _SHM_FALLBACK_WARNED:
-        return
-    _SHM_FALLBACK_WARNED = True
-    import warnings
+    from repro.utils.once import warn_once
 
-    warnings.warn(
+    warn_once(
+        SHM_FALLBACK_KEY,
         "repro.trace.store: shared memory is unavailable "
         f"({type(exc).__name__}: {exc}); traces published while the "
         "persistent pool is live will be pickled into every shard "
         "(results are identical, dispatch is slower). Consider a fresh-"
         "pool session, which keeps the zero-copy fork-inherit backend.",
-        RuntimeWarning,
         stacklevel=4,
     )
 
@@ -290,6 +287,7 @@ class TraceStore:
                 values.shape, dtype=values.dtype, buffer=segment.buf
             )
             target[...] = values
+            obs.count("shm.bytes_published", int(values.nbytes))
             token = _next_token()
             # Parent-side (and fork-child) lookups short-circuit the
             # attach; the name doubles as the registry key.

@@ -1,6 +1,7 @@
 """Shared utilities: RNG handling, validation, array helpers, text tables."""
 
 from repro.utils.arrays import as_float_array, block_means, sliding_disjoint_blocks
+from repro.utils.once import mark_warned, warn_once, warned
 from repro.utils.rng import copy_sequence, normalize_rng, spawn_rngs
 from repro.utils.tables import format_table
 from repro.utils.validation import (
@@ -15,8 +16,11 @@ __all__ = [
     "block_means",
     "sliding_disjoint_blocks",
     "copy_sequence",
+    "mark_warned",
     "normalize_rng",
     "spawn_rngs",
+    "warn_once",
+    "warned",
     "format_table",
     "require_in_range",
     "require_int_at_least",

@@ -29,7 +29,9 @@ from repro.kernels import (
 def clean_toggle(monkeypatch):
     """Each test starts with no env setting and a fresh warning latch."""
     monkeypatch.delenv("REPRO_KERNELS", raising=False)
-    monkeypatch.setattr(kernels_mod, "_WARNED", False)
+    import repro.utils.once as once
+
+    monkeypatch.setattr(once, "_SEEN", set())
     assert not kernels_mod._OVERRIDES  # no scope leaked from another test
     yield
     assert not kernels_mod._OVERRIDES

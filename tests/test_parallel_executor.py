@@ -96,7 +96,9 @@ class TestLoudSerialFallback:
             raise OSError("semaphores unavailable in sandbox")
 
         monkeypatch.setattr(multiprocessing, "get_context", no_pool)
-        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", False)
+        import repro.utils.once as once
+
+        monkeypatch.setattr(once, "_SEEN", set())
         with pytest.warns(RuntimeWarning, match="semaphores unavailable"):
             assert run_shards(_double, [(1,), (2,)], workers=2) == [2, 4]
         # Second failure in the same session is silent (one-time warning).

@@ -189,7 +189,9 @@ class TestSerialDegradation:
             raise OSError("semaphores unavailable in sandbox")
 
         monkeypatch.setattr(multiprocessing, "get_context", no_pool)
-        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", False)
+        import repro.utils.once as once
+
+        monkeypatch.setattr(once, "_SEEN", set())
         with pool_runtime():
             with pytest.warns(RuntimeWarning, match="semaphores unavailable"):
                 assert run_shards(_pid, [(1,), (2,)], workers=2) == [
@@ -197,7 +199,11 @@ class TestSerialDegradation:
                 ]
 
     def test_closed_runtime_degrades_serially(self, monkeypatch):
-        monkeypatch.setattr(executor, "_POOL_FAILURE_WARNED", True)
+        import repro.utils.once as once
+
+        monkeypatch.setattr(
+            once, "_SEEN", {"parallel.pool-unavailable"}
+        )
         with pool_runtime() as rt:
             rt.close()
             assert run_shards(_pid, [(1,), (2,)], workers=2) == [

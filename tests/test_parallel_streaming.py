@@ -242,9 +242,9 @@ class TestProcessPrefetch:
 
     @pytest.fixture(autouse=True)
     def no_stale_warning_latch(self, monkeypatch):
-        import repro.parallel.streaming as streaming
+        import repro.utils.once as once
 
-        monkeypatch.setattr(streaming, "_PROCESS_FALLBACK_WARNED", False)
+        monkeypatch.setattr(once, "_SEEN", set())
 
     def write(self, tmp_path, suffix, n=500):
         path = tmp_path / f"t{suffix}"
